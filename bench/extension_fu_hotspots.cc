@@ -1,0 +1,84 @@
+// Extension bench (paper Section 7, future work): functional-unit aware
+// co-scheduling.
+//
+// "Energy-aware scheduling would even be beneficial for tasks having the
+// same power consumption, if they dissipate energy at different functional
+// units, as is the case with floating point and integer applications."
+//
+// Four tasks with IDENTICAL total power - two integer-bound, two FP-bound -
+// are paired onto two SMT packages. Scalar energy profiles cannot tell them
+// apart; FU profiles can. We co-run each pairing on the per-FU thermal model
+// and report the hottest cluster temperature.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/fu_pairing.h"
+#include "src/thermal/fu_thermal.h"
+
+namespace {
+
+eas::FuPowerVector ClusterLoad(eas::FunctionalUnit fu, double watts) {
+  eas::FuPowerVector p{};
+  p[static_cast<std::size_t>(fu)] = watts;
+  return p;
+}
+
+// Steady-state peak FU temperature of a package co-running tasks a and b.
+double CoRunPeakTemperature(const eas::FuPowerVector& a, const eas::FuPowerVector& b,
+                            double corun_speed) {
+  eas::FuThermalParams params;
+  eas::FuThermalModel model(params);
+  eas::FuPowerVector combined{};
+  for (std::size_t i = 0; i < eas::kNumFunctionalUnits; ++i) {
+    combined[i] = (a[i] + b[i]) * corun_speed;
+  }
+  for (int tick = 0; tick < 120'000; ++tick) {  // 2 minutes, >> both taus
+    model.Step(combined, 18.0, 1e-3);
+  }
+  return model.MaxFuTemperature();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Extension (Sec. 7): FU-aware co-scheduling on SMT ==\n\n");
+
+  const double kWatts = 22.0;  // identical scalar power for every task
+  const double kCorun = 0.65;
+  std::vector<eas::FuPowerVector> tasks = {
+      ClusterLoad(eas::FunctionalUnit::kIntegerCluster, kWatts),  // int_a
+      ClusterLoad(eas::FunctionalUnit::kIntegerCluster, kWatts),  // int_b
+      ClusterLoad(eas::FunctionalUnit::kFpCluster, kWatts),       // fp_a
+      ClusterLoad(eas::FunctionalUnit::kFpCluster, kWatts),       // fp_b
+  };
+  const char* names[] = {"int_a", "int_b", "fp_a", "fp_b"};
+
+  auto report = [&](const char* title,
+                    const std::vector<std::pair<std::size_t, std::size_t>>& pairs) {
+    std::printf("%s\n", title);
+    double worst = 0.0;
+    for (const auto& [a, b] : pairs) {
+      const double peak = CoRunPeakTemperature(tasks[a], tasks[b], kCorun);
+      worst = std::max(worst, peak);
+      std::printf("  %-6s + %-6s -> hottest cluster %.1f C\n", names[a], names[b], peak);
+    }
+    std::printf("  worst package hotspot: %.1f C\n\n", worst);
+    return worst;
+  };
+
+  const double naive = report("FU-blind pairing (scalar profiles are all equal):",
+                              eas::PairInOrder(tasks.size()));
+  const double aware = report("FU-aware pairing (minimize hotspot score):",
+                              eas::PairForMinimumHotspot(tasks, kCorun));
+
+  std::printf("hotspot reduction: %.1f K at identical total power and throughput.\n",
+              naive - aware);
+  std::printf(
+      "\nA scalar energy profile calls all four tasks identical (%.0f W each);\n"
+      "characterizing tasks by *where* they dissipate energy lets the scheduler\n"
+      "cut the peak die temperature without moving a single watt - the benefit\n"
+      "the paper's future-work section predicts.\n",
+      kWatts);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figures 6 and 7 plus the Section 6.1 migration counts.
+//
+// Setup (paper): 8-way machine, SMT off, max power 60 W for all CPUs,
+// 18 tasks (3x each Table 2 program), 15-minute runs.
+//   Fig 6 (balancing disabled): thermal power curves diverge; some CPUs
+//     exceed the 50 W limit.
+//   Fig 7 (balancing enabled): the band stays narrow, below the limit.
+//   Migrations: 3.3 (disabled) vs 32 (enabled); SMT on: 9.8 vs 87.
+
+#include <cstdio>
+
+#include "src/base/ascii_plot.h"
+#include "src/sim/experiment.h"
+#include "src/workloads/programs.h"
+#include "src/workloads/workload_builder.h"
+
+namespace {
+
+eas::MachineConfig Config(bool smt, bool energy_aware) {
+  eas::MachineConfig config;
+  config.topology = eas::CpuTopology::PaperXSeries445(smt);
+  config.cooling = eas::CoolingProfile::PaperXSeries445();
+  config.explicit_max_power_physical = 60.0;
+  config.throttling_enabled = false;  // Section 6.1 observes, does not throttle
+  config.sched = energy_aware ? eas::EnergySchedConfig::EnergyAware()
+                              : eas::EnergySchedConfig::Baseline();
+  return config;
+}
+
+eas::RunResult RunOnce(bool smt, bool energy_aware, eas::Tick duration) {
+  const eas::ProgramLibrary library(eas::EnergyModel::Default());
+  eas::Experiment::Options options;
+  options.duration_ticks = duration;
+  options.sample_interval_ticks = 2'000;
+  eas::Experiment experiment(Config(smt, energy_aware), options);
+  return experiment.Run(eas::MixedWorkload(library, smt ? 6 : 3));
+}
+
+void PrintRun(const char* title, const eas::RunResult& result) {
+  std::printf("--- %s ---\n", title);
+  eas::PlotOptions options;
+  options.y_min = 10.0;
+  options.y_max = 62.0;
+  options.height = 16;
+  options.marker = 50.0;
+  options.use_marker = true;
+  options.y_label = "thermal power [W] of the 8 CPUs over 900 s; dashes mark the 50 W limit";
+  std::printf("%s\n", eas::RenderPlot(result.thermal_power, options).c_str());
+
+  const eas::Tick settle = 120'000;
+  std::printf("  spread after warm-up: %.1f W   peak: %.1f W   migrations: %lld\n\n",
+              result.MaxThermalSpreadAfter(settle), result.thermal_power.MaxValue(),
+              static_cast<long long>(result.migrations));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figures 6/7: thermal power of the eight CPUs, 18-task mixed workload ==\n\n");
+  const eas::Tick duration = 900'000;  // the paper's 15 minutes
+
+  const eas::RunResult disabled = RunOnce(false, false, duration);
+  PrintRun("Figure 6: energy balancing DISABLED", disabled);
+  const eas::RunResult enabled = RunOnce(false, true, duration);
+  PrintRun("Figure 7: energy balancing ENABLED", enabled);
+
+  std::printf("== Section 6.1 migration counts (15 minutes) ==\n\n");
+  std::printf("%-22s %16s %16s\n", "", "paper", "measured");
+  std::printf("%-22s %16s %16lld\n", "SMT off, disabled", "3.3",
+              static_cast<long long>(disabled.migrations));
+  std::printf("%-22s %16s %16lld\n", "SMT off, enabled", "32",
+              static_cast<long long>(enabled.migrations));
+
+  const eas::RunResult smt_disabled = RunOnce(true, false, duration);
+  const eas::RunResult smt_enabled = RunOnce(true, true, duration);
+  std::printf("%-22s %16s %16lld\n", "SMT on, disabled", "9.8",
+              static_cast<long long>(smt_disabled.migrations));
+  std::printf("%-22s %16s %16lld\n", "SMT on, enabled", "87",
+              static_cast<long long>(smt_enabled.migrations));
+
+  std::printf(
+      "\nShape to reproduce: without balancing the curves diverge (width tracks the\n"
+      "38-61 W program spread) and cross the 50 W line; with balancing the band is\n"
+      "narrow and stays below the limit, at the cost of ~10x more (still cheap)\n"
+      "migrations.\n");
+  return 0;
+}

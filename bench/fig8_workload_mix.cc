@@ -1,0 +1,72 @@
+// Figure 8: dependence of the throughput gain on workload homogeneity.
+//
+// Setup (paper): SMT off, 18 tasks mixing memrw (cool), pushpop (medium) and
+// bitcnts (hot); scenarios 9/0/9 .. 0/18/0. Throughput increase of
+// energy-aware scheduling peaks at 12.3% for 8/2/8 and vanishes for the
+// homogeneous 0/18/0 mix.
+
+#include <cstdio>
+
+#include "src/sim/experiment.h"
+#include "src/workloads/programs.h"
+#include "src/workloads/workload_builder.h"
+
+namespace {
+
+eas::MachineConfig Config(bool energy_aware, std::uint64_t seed) {
+  eas::MachineConfig config;
+  config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/false);
+  config.cooling = eas::CoolingProfile::PaperXSeries445();
+  config.temp_limit = 38.0;
+  config.throttling_enabled = true;
+  config.seed = seed;
+  config.sched = energy_aware ? eas::EnergySchedConfig::EnergyAware()
+                              : eas::EnergySchedConfig::Baseline();
+  return config;
+}
+
+// Average throughput over a few seeds: baseline placement luck otherwise
+// dominates the per-mix differences.
+double AvgThroughput(bool energy_aware, const std::vector<const eas::Program*>& workload,
+                     eas::Tick duration) {
+  double sum = 0.0;
+  const std::uint64_t seeds[] = {42, 1337, 90210};
+  for (std::uint64_t seed : seeds) {
+    eas::Experiment::Options options;
+    options.duration_ticks = duration;
+    eas::Experiment experiment(Config(energy_aware, seed), options);
+    sum += experiment.Run(workload).Throughput();
+  }
+  return sum / 3.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 8: throughput increase vs workload homogeneity ==\n\n");
+  const eas::ProgramLibrary library(eas::EnergyModel::Default());
+  const eas::Tick duration = 360'000;  // 6 simulated minutes per run
+
+  std::printf("%-12s %14s %14s %12s\n", "scenario", "baseline", "energy-aware", "increase");
+  const double paper[] = {10.5, 12.3, 9.5, 8.0, 6.5, 5.0, 3.5, 2.0, 1.0, 0.0};
+  int idx = 0;
+  for (int hot = 9; hot >= 0; --hot) {
+    const int medium = 18 - 2 * hot;
+    const auto workload = eas::HomogeneityWorkload(library, hot, medium, hot);
+
+    const double baseline = AvgThroughput(false, workload, duration);
+    const double eas_run = AvgThroughput(true, workload, duration);
+
+    char scenario[32];
+    std::snprintf(scenario, sizeof(scenario), "%d/%d/%d", hot, medium, hot);
+    std::printf("%-12s %14.0f %14.0f %+10.1f%%  (paper ~%.0f%%)\n", scenario, baseline, eas_run,
+                (eas_run / baseline - 1.0) * 100, paper[idx]);
+    ++idx;
+  }
+  std::printf(
+      "\nShape to reproduce: heterogeneous mixes (left) benefit most - the scheduler\n"
+      "can put hot tasks on well-cooled CPUs; the peak sits near 8/2/8 because a\n"
+      "few medium tasks suit the medium-cooled package; the fully homogeneous\n"
+      "0/18/0 mix gains nothing (energy is inherently balanced).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table 3 and Section 6.2: temperature control by throttling.
+//
+// Setup (paper): per-CPU thermal calibration, artificial 38 C limit, SMT on,
+// mixed workload. Paper results: the poorly cooled CPUs throttle 51-61% of
+// the time without energy balancing, noticeably less with it; the average
+// falls from 15.2% to 10.2%, and throughput rises 4.7% (4.9% with a
+// short-running-task workload where initial placement dominates).
+
+#include <cstdio>
+
+#include "src/sim/experiment.h"
+#include "src/workloads/programs.h"
+#include "src/workloads/workload_builder.h"
+
+namespace {
+
+eas::MachineConfig Config(bool energy_aware) {
+  eas::MachineConfig config;
+  config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/true);
+  config.cooling = eas::CoolingProfile::PaperXSeries445();
+  config.temp_limit = 38.0;  // derive per-CPU max power from cooling params
+  config.throttling_enabled = true;
+  config.sched = energy_aware ? eas::EnergySchedConfig::EnergyAware()
+                              : eas::EnergySchedConfig::Baseline();
+  return config;
+}
+
+eas::RunResult RunMixed(bool energy_aware, eas::Tick duration) {
+  const eas::ProgramLibrary library(eas::EnergyModel::Default());
+  eas::Experiment::Options options;
+  options.duration_ticks = duration;
+  eas::Experiment experiment(Config(energy_aware), options);
+  return experiment.Run(eas::MixedWorkload(library, 6));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 3: CPU throttling percentage (38 C artificial limit) ==\n\n");
+  const eas::Tick duration = 600'000;  // 10 simulated minutes
+
+  const eas::RunResult baseline = RunMixed(false, duration);
+  const eas::RunResult eas_run = RunMixed(true, duration);
+
+  std::printf("%-12s %22s %22s\n", "logical CPU", "energy balancing", "energy balancing");
+  std::printf("%-12s %22s %22s\n", "", "disabled", "enabled");
+  for (std::size_t cpu = 0; cpu < baseline.throttled_fraction.size(); ++cpu) {
+    const double off = baseline.throttled_fraction[cpu] * 100;
+    const double on = eas_run.throttled_fraction[cpu] * 100;
+    if (off > 0.5 || on > 0.5) {
+      std::printf("%-12zu %21.1f%% %21.1f%%\n", cpu, off, on);
+    }
+  }
+  std::printf("%-12s %21.1f%% %21.1f%%\n", "average", baseline.AverageThrottledFraction() * 100,
+              eas_run.AverageThrottledFraction() * 100);
+  std::printf("  (paper:   average 15.2%% -> 10.2%%; hot CPUs 51-61%% -> 35-52%%)\n\n");
+
+  const double increase = eas::ThroughputIncrease(baseline, eas_run) * 100;
+  std::printf("throughput increase, mixed workload: %+.1f%%  (paper: +4.7%%)\n\n", increase);
+
+  // Short-running tasks: initial placement carries the benefit.
+  const eas::ProgramLibrary library(eas::EnergyModel::Default());
+  std::vector<const eas::Program*> shorts;
+  for (int i = 0; i < 24; ++i) {
+    shorts.push_back(i % 2 == 0 ? &library.short_hot() : &library.short_cool());
+  }
+  eas::Experiment::Options options;
+  options.duration_ticks = 300'000;
+  eas::Experiment base_experiment(Config(false), options);
+  const eas::RunResult base_short = base_experiment.Run(shorts);
+  eas::Experiment eas_experiment(Config(true), options);
+  const eas::RunResult eas_short = eas_experiment.Run(shorts);
+  std::printf("throughput increase, short tasks (<1 s): %+.1f%%  (paper: +4.9%%)\n",
+              eas::ThroughputIncrease(base_short, eas_short) * 100);
+
+  std::printf(
+      "\nShape to reproduce: only the poorly cooled packages throttle; energy-aware\n"
+      "scheduling moves their hot tasks to well-cooled packages, cutting throttle\n"
+      "time on every affected CPU and lifting total throughput by a few percent.\n");
+  return 0;
+}

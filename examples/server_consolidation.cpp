@@ -1,0 +1,84 @@
+// Server consolidation scenario: a thermally constrained server runs a mix
+// of hot (compute) and cool (memory-bound) services plus interactive
+// daemons. The operator caps each package at a temperature limit; throttling
+// eats throughput unless the scheduler spreads heat.
+//
+// Demonstrates: per-CPU thermal limits from cooling calibration, throttling
+// accounting, and the throughput effect of the paper's policy (Section 6.2).
+
+#include <cstdio>
+#include <vector>
+
+#include "src/sim/experiment.h"
+#include "src/workloads/programs.h"
+
+namespace {
+
+struct Outcome {
+  double throughput = 0.0;
+  double avg_throttled = 0.0;
+  std::vector<double> per_cpu_throttled;
+};
+
+Outcome RunServer(bool energy_aware) {
+  eas::MachineConfig config;
+  config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/true);
+  config.cooling = eas::CoolingProfile::PaperXSeries445();
+  config.temp_limit = 38.0;        // artificial limit -> per-CPU max power
+  config.throttling_enabled = true;
+  config.sched = energy_aware ? eas::EnergySchedConfig::EnergyAware()
+                              : eas::EnergySchedConfig::Baseline();
+
+  const eas::ProgramLibrary library(config.model);
+  std::vector<const eas::Program*> services;
+  for (int i = 0; i < 8; ++i) {
+    services.push_back(&library.bitcnts());  // compute-heavy service workers
+  }
+  for (int i = 0; i < 12; ++i) {
+    services.push_back(&library.memrw());  // cache/memory-bound workers
+  }
+  for (int i = 0; i < 8; ++i) {
+    services.push_back(&library.openssl());  // TLS termination
+  }
+  for (int i = 0; i < 4; ++i) {
+    services.push_back(&library.sshd());  // interactive daemons
+  }
+
+  eas::Experiment::Options options;
+  options.duration_ticks = 180'000;  // 3 minutes
+  eas::Experiment experiment(config, options);
+  const eas::RunResult result = experiment.Run(services);
+
+  Outcome outcome;
+  outcome.throughput = result.Throughput();
+  outcome.avg_throttled = result.AverageThrottledFraction();
+  outcome.per_cpu_throttled = result.throttled_fraction;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== server consolidation under a thermal cap (38 C artificial limit) ==\n\n");
+  const Outcome baseline = RunServer(false);
+  const Outcome eas_run = RunServer(true);
+
+  std::printf("%-28s %14s %14s\n", "", "baseline", "energy-aware");
+  std::printf("%-28s %13.1f%% %13.1f%%\n", "avg CPU throttle time", baseline.avg_throttled * 100,
+              eas_run.avg_throttled * 100);
+  std::printf("%-28s %14.0f %14.0f\n", "throughput (work ticks/s)", baseline.throughput,
+              eas_run.throughput);
+  std::printf("%-28s %28.1f%%\n", "throughput increase",
+              (eas_run.throughput / baseline.throughput - 1.0) * 100);
+
+  std::printf("\nper-logical-CPU throttle time (baseline -> energy-aware):\n");
+  for (std::size_t cpu = 0; cpu < baseline.per_cpu_throttled.size(); ++cpu) {
+    if (baseline.per_cpu_throttled[cpu] > 0.001 || eas_run.per_cpu_throttled[cpu] > 0.001) {
+      std::printf("  cpu %2zu: %5.1f%% -> %5.1f%%\n", cpu, baseline.per_cpu_throttled[cpu] * 100,
+                  eas_run.per_cpu_throttled[cpu] * 100);
+    }
+  }
+  std::printf("\nPoorly cooled packages shed their hot tasks to well-cooled ones, cutting\n"
+              "throttle time and raising total throughput - the paper's Table 3 effect.\n");
+  return 0;
+}

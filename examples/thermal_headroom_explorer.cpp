@@ -1,0 +1,55 @@
+// Thermal headroom explorer: how much power budget does a single hot batch
+// job need before throttling stops hurting? Sweeps the per-package power
+// limit and shows how hot task migration exploits idle CPUs (Section 6.4).
+//
+// Demonstrates: hot task migration, the throttle duty cycle math, and the
+// interaction of power limits with throughput.
+
+#include <cstdio>
+
+#include "src/sim/experiment.h"
+#include "src/workloads/programs.h"
+#include "src/workloads/workload_builder.h"
+
+namespace {
+
+double RunWithLimit(double limit_watts, bool energy_aware, std::int64_t* migrations) {
+  eas::MachineConfig config;
+  config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/true);
+  config.cooling = eas::CoolingProfile::PaperXSeries445();
+  config.explicit_max_power_physical = limit_watts;
+  config.throttling_enabled = true;
+  config.sched = energy_aware ? eas::EnergySchedConfig::EnergyAware()
+                              : eas::EnergySchedConfig::Baseline();
+
+  const eas::ProgramLibrary library(config.model);
+  eas::Experiment::Options options;
+  options.duration_ticks = 150'000;
+  eas::Experiment experiment(config, options);
+  const eas::RunResult result = experiment.Run(eas::HotTaskWorkload(library, 1));
+  if (migrations != nullptr) {
+    *migrations = result.migrations;
+  }
+  return result.Throughput();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== thermal headroom explorer: one 61 W batch job, varying power budget ==\n\n");
+  std::printf("%10s %14s %14s %12s %12s\n", "limit [W]", "baseline", "energy-aware", "increase",
+              "migrations");
+  for (double limit : {35.0, 40.0, 45.0, 50.0, 55.0, 61.0}) {
+    std::int64_t migrations = 0;
+    const double base = RunWithLimit(limit, false, nullptr);
+    const double eas_tp = RunWithLimit(limit, true, &migrations);
+    std::printf("%10.0f %14.0f %14.0f %11.1f%% %12lld\n", limit, base, eas_tp,
+                (eas_tp / base - 1.0) * 100, static_cast<long long>(migrations));
+  }
+  std::printf(
+      "\nBelow the job's 61 W appetite the baseline must throttle one package while\n"
+      "seven sit idle; hot task migration round-robins the job across cool packages\n"
+      "instead. The tighter the budget, the bigger the win (paper Section 6.4:\n"
+      "+76%% at 40 W, +27%% at 50 W).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "src/base/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace eas {
+
+std::string RenderPlot(const SeriesSet& set, const PlotOptions& options) {
+  const int width = std::max(10, options.width);
+  const int height = std::max(4, options.height);
+
+  double y_max = options.y_max;
+  if (y_max <= options.y_min) {
+    y_max = std::max(set.MaxValue() * 1.05, options.y_min + 1.0);
+  }
+  const double y_min = options.y_min;
+
+  Tick t_max = 1;
+  for (const auto& s : set.all()) {
+    if (!s.empty()) {
+      t_max = std::max(t_max, s.tick_at(s.size() - 1));
+    }
+  }
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+
+  auto row_for = [&](double v) {
+    const double frac = (v - y_min) / (y_max - y_min);
+    int row = static_cast<int>(std::lround((1.0 - frac) * (height - 1)));
+    return std::clamp(row, 0, height - 1);
+  };
+
+  if (options.use_marker) {
+    const int row = row_for(options.marker);
+    for (int c = 0; c < width; c += 2) {
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(c)] = '-';
+    }
+  }
+
+  char symbol = '0';
+  for (const auto& s : set.all()) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const int col = static_cast<int>(s.tick_at(i) * (width - 1) / t_max);
+      const int row = row_for(s.value_at(i));
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = symbol;
+    }
+    if (symbol == '9') {
+      symbol = 'a';
+    } else {
+      ++symbol;
+    }
+  }
+
+  std::string out;
+  char label[64];
+  for (int r = 0; r < height; ++r) {
+    const double v = y_max - (y_max - y_min) * r / (height - 1);
+    std::snprintf(label, sizeof(label), "%7.1f |", v);
+    out += label;
+    out += grid[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += "        +";
+  out += std::string(static_cast<std::size_t>(width), '-');
+  out += '\n';
+  if (!options.y_label.empty()) {
+    out += "        " + options.y_label + "\n";
+  }
+  return out;
+}
+
+}  // namespace eas

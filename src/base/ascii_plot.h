@@ -1,0 +1,29 @@
+// Minimal ASCII plotting for bench output: renders a SeriesSet the way the
+// paper's figures present thermal power over time.
+
+#ifndef SRC_BASE_ASCII_PLOT_H_
+#define SRC_BASE_ASCII_PLOT_H_
+
+#include <string>
+
+#include "src/base/series.h"
+
+namespace eas {
+
+struct PlotOptions {
+  int width = 78;        // characters along the time axis
+  int height = 16;       // rows along the value axis
+  double y_min = 0.0;    // bottom of the value axis
+  double y_max = 0.0;    // top of the value axis; 0 -> auto from data
+  double marker = 0.0;   // horizontal dashed marker line (e.g. the 50 W limit)
+  bool use_marker = false;
+  std::string y_label;
+};
+
+// Renders every series in the set into one character grid. Each series is
+// drawn with a distinct symbol ('0'..'9', then 'a'..).
+std::string RenderPlot(const SeriesSet& set, const PlotOptions& options);
+
+}  // namespace eas
+
+#endif  // SRC_BASE_ASCII_PLOT_H_

@@ -1,0 +1,43 @@
+#include "src/base/exp_average.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace eas {
+
+ExpAverage::ExpAverage(double weight, double standard_period)
+    : weight_(weight), standard_period_(standard_period) {
+  assert(weight > 0.0 && weight <= 1.0);
+  assert(standard_period > 0.0);
+}
+
+ExpAverage ExpAverage::WithTimeConstant(double tau, double standard_period) {
+  // For repeated standard-period updates the average follows
+  //   avg(t) = x * (1 - (1-p)^(t/standard)),
+  // so matching exp(-t/tau) requires (1-p)^(1/standard) = exp(-1/tau).
+  assert(tau > 0.0);
+  const double p = 1.0 - std::exp(-standard_period / tau);
+  return ExpAverage(p, standard_period);
+}
+
+void ExpAverage::AddSample(double value, double period) {
+  AddRateSample(value * standard_period_ / period, period);
+}
+
+void ExpAverage::AddRateSample(double rate, double period) {
+  assert(period > 0.0);
+  if (!has_samples_) {
+    value_ = rate;
+    has_samples_ = true;
+    return;
+  }
+  const double decay = std::pow(1.0 - weight_, period / standard_period_);
+  value_ = (1.0 - decay) * rate + decay * value_;
+}
+
+void ExpAverage::Reset(double value) {
+  value_ = value;
+  has_samples_ = true;
+}
+
+}  // namespace eas

@@ -1,0 +1,79 @@
+#include "src/base/flags.h"
+
+#include <cstdlib>
+
+namespace eas {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" if the next token is not itself a flag; else a switch.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const { return values_.contains(name); }
+
+std::string FlagParser::GetString(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double FlagParser::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) {
+    return fallback;
+  }
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+long long FlagParser::GetInt(const std::string& name, long long fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) {
+    return fallback;
+  }
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool FlagParser::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> FlagParser::SplitColons(const std::string& value) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = value.find(':', start);
+    if (colon == std::string::npos) {
+      fields.push_back(value.substr(start));
+      return fields;
+    }
+    fields.push_back(value.substr(start, colon - start));
+    start = colon + 1;
+  }
+}
+
+}  // namespace eas

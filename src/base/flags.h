@@ -1,0 +1,41 @@
+// Minimal command-line flag parsing for the tools.
+//
+// Supports --name=value and --name value forms plus boolean switches
+// (--name). No external dependencies; the tools' needs are modest.
+
+#ifndef SRC_BASE_FLAGS_H_
+#define SRC_BASE_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eas {
+
+class FlagParser {
+ public:
+  // Parses argv; unknown arguments that do not start with "--" are collected
+  // as positional arguments.
+  FlagParser(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  // Value of --name; `fallback` if absent. A bare switch yields "".
+  std::string GetString(const std::string& name, const std::string& fallback = "") const;
+  double GetDouble(const std::string& name, double fallback) const;
+  long long GetInt(const std::string& name, long long fallback) const;
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Splits "a:b:c" into its fields.
+  static std::vector<std::string> SplitColons(const std::string& value);
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace eas
+
+#endif  // SRC_BASE_FLAGS_H_

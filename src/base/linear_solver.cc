@@ -1,0 +1,82 @@
+#include "src/base/linear_solver.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace eas {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+std::optional<std::vector<double>> SolveLinearSystem(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n);
+  assert(b.size() == n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the row with the largest magnitude in `col`.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a.at(r, col)) > std::fabs(a.at(pivot, col))) {
+        pivot = r;
+      }
+    }
+    if (std::fabs(a.at(pivot, col)) < 1e-12) {
+      return std::nullopt;
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t c = col; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) {
+      acc -= a.at(i, c) * x[c];
+    }
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+std::optional<std::vector<double>> LeastSquares(const Matrix& a, const std::vector<double>& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  assert(b.size() == m);
+  assert(m >= n);
+
+  // Normal equations: (A^T A) x = A^T b.
+  Matrix ata(n, n);
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < m; ++r) {
+        acc += a.at(r, i) * a.at(r, j);
+      }
+      ata.at(i, j) = acc;
+    }
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      acc += a.at(r, i) * b[r];
+    }
+    atb[i] = acc;
+  }
+  return SolveLinearSystem(std::move(ata), std::move(atb));
+}
+
+}  // namespace eas

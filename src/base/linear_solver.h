@@ -1,0 +1,45 @@
+// Dense linear algebra helpers for counter-weight calibration.
+//
+// The calibration pipeline (paper Section 3.2) measures real energy for a set
+// of test runs, records the event counts of each run, and solves the
+// resulting (overdetermined) linear system for the per-event energy weights.
+// We implement ordinary least squares via normal equations with Gaussian
+// elimination and partial pivoting; systems are tiny (a handful of counters).
+
+#ifndef SRC_BASE_LINEAR_SOLVER_H_
+#define SRC_BASE_LINEAR_SOLVER_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace eas {
+
+// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols);
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+// Solves the square system a * x = b by Gaussian elimination with partial
+// pivoting. Returns nullopt if the matrix is (numerically) singular.
+std::optional<std::vector<double>> SolveLinearSystem(Matrix a, std::vector<double> b);
+
+// Ordinary least squares: minimizes |a * x - b|^2 for a with rows >= cols.
+// Returns nullopt if the normal equations are singular.
+std::optional<std::vector<double>> LeastSquares(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace eas
+
+#endif  // SRC_BASE_LINEAR_SOLVER_H_

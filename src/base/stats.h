@@ -1,0 +1,51 @@
+// Small statistics helpers used by experiments and tests.
+
+#ifndef SRC_BASE_STATS_H_
+#define SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace eas {
+
+// Online mean / variance / extrema accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Clear();
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Mean of a vector; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+// Population standard deviation; 0 for fewer than two samples.
+double Stddev(const std::vector<double>& xs);
+
+// Maximum; 0 for an empty vector.
+double Max(const std::vector<double>& xs);
+
+// Minimum; 0 for an empty vector.
+double Min(const std::vector<double>& xs);
+
+// Linear-interpolation percentile, q in [0, 100].
+double Percentile(std::vector<double> xs, double q);
+
+}  // namespace eas
+
+#endif  // SRC_BASE_STATS_H_

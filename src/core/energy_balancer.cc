@@ -1,0 +1,217 @@
+#include "src/core/energy_balancer.h"
+
+#include <cmath>
+
+namespace eas {
+
+EnergyLoadBalancer::EnergyLoadBalancer() : EnergyLoadBalancer(Options{}) {}
+
+EnergyLoadBalancer::EnergyLoadBalancer(const Options& options) : options_(options) {}
+
+EnergyLoadBalancer::Result EnergyLoadBalancer::Balance(int cpu, BalanceEnv& env) const {
+  Result result;
+  for (const SchedDomain* domain : env.domains().DomainsFor(cpu)) {
+    const CpuGroup* local_group = domain->GroupOf(cpu);
+    if (local_group == nullptr) {
+      continue;
+    }
+
+    Result level_result;
+    if ((domain->flags & kDomainNoEnergyBalance) == 0) {
+      level_result = EnergyStep(cpu, *domain, *local_group, env);
+    }
+    level_result.load_migrations = LoadStep(cpu, *domain, *local_group, env);
+
+    result.energy_migrations += level_result.energy_migrations;
+    result.exchange_migrations += level_result.exchange_migrations;
+    result.load_migrations += level_result.load_migrations;
+
+    if (level_result.total() > 0) {
+      // Imbalance resolved in the lowest domain possible; do not escalate.
+      break;
+    }
+  }
+  return result;
+}
+
+EnergyLoadBalancer::Result EnergyLoadBalancer::EnergyStep(int cpu, const SchedDomain& domain,
+                                                          const CpuGroup& local_group,
+                                                          BalanceEnv& env) const {
+  Result result;
+
+  auto rq_ratio = [&env](int c) { return env.RunqueuePowerRatio(c); };
+  auto thermal_ratio = [&env](int c) { return env.ThermalPowerRatio(c); };
+
+  // 1. Group with the highest average runqueue power ratio.
+  const CpuGroup* hottest_group = nullptr;
+  double hottest_ratio = 0.0;
+  for (const auto& group : domain.groups) {
+    const double ratio = GroupAverage(group, rq_ratio);
+    if (hottest_group == nullptr || ratio > hottest_ratio) {
+      hottest_group = &group;
+      hottest_ratio = ratio;
+    }
+  }
+  if (hottest_group == nullptr || hottest_group == &local_group) {
+    return result;
+  }
+
+  // 2. Dual condition: hotter (slow thermal metric, hysteresis) AND consuming
+  // more (fast runqueue metric, forbids over-pulling).
+  const double local_rq_ratio = GroupAverage(local_group, rq_ratio);
+  const double local_thermal_ratio = GroupAverage(local_group, thermal_ratio);
+  const double remote_thermal_ratio = GroupAverage(*hottest_group, thermal_ratio);
+  if (remote_thermal_ratio <= local_thermal_ratio + options_.thermal_ratio_margin ||
+      hottest_ratio <= local_rq_ratio + options_.rq_ratio_margin) {
+    return result;
+  }
+
+  // Hottest queue within the group.
+  int hottest_cpu = -1;
+  double hottest_cpu_ratio = 0.0;
+  for (int remote_cpu : hottest_group->cpus) {
+    const double ratio = rq_ratio(remote_cpu);
+    if (hottest_cpu < 0 || ratio > hottest_cpu_ratio) {
+      hottest_cpu = remote_cpu;
+      hottest_cpu_ratio = ratio;
+    }
+  }
+  if (hottest_cpu < 0) {
+    return result;
+  }
+
+  Runqueue& remote = env.runqueue(hottest_cpu);
+  // Energy balancing levels queues that consist of *multiple* tasks
+  // (Section 4); a single-task queue is hot task migration's business -
+  // stealing its lone task would bounce work the migrator just placed.
+  if (remote.nr_running() < 2) {
+    return result;
+  }
+  Task* hot_task = remote.HottestQueued();
+  if (hot_task == nullptr) {
+    return result;
+  }
+  // 3. Pulling must reduce the imbalance: the task must be hotter than the
+  // local queue's average power...
+  const double task_power = hot_task->profile().power();
+  if (task_power <= env.RunqueuePower(cpu) * options_.min_task_gain) {
+    return result;
+  }
+  // ...and the hypothetical post-migration ratio gap must shrink, otherwise
+  // the move would only flip the imbalance (over-balancing). If the pull
+  // would create a load imbalance, a cool task returns in exchange (step 4),
+  // so the hypothesis models the full swap.
+  {
+    Runqueue& local = env.runqueue(cpu);
+    const double n_local = static_cast<double>(local.nr_running());
+    const double n_remote = static_cast<double>(remote.nr_running());
+    const double local_sum = n_local > 0 ? env.RunqueuePower(cpu) * n_local : 0.0;
+    const double remote_sum = env.RunqueuePower(hottest_cpu) * n_remote;
+
+    const bool would_exchange = n_local + 1.0 > n_remote;
+    double exchange_power = 0.0;
+    if (would_exchange) {
+      const Task* cool = local.CoolestQueued();
+      exchange_power = cool != nullptr ? cool->profile().power() : 0.0;
+    }
+
+    double new_local_sum = local_sum + task_power;
+    double new_local_n = n_local + 1.0;
+    double new_remote_sum = remote_sum - task_power;
+    double new_remote_n = n_remote - 1.0;
+    if (would_exchange && exchange_power > 0.0) {
+      new_local_sum -= exchange_power;
+      new_local_n -= 1.0;
+      new_remote_sum += exchange_power;
+      new_remote_n += 1.0;
+    }
+    const double new_local_ratio = new_local_sum / new_local_n / env.MaxPower(cpu);
+    const double new_remote_ratio =
+        new_remote_n > 0.0 ? new_remote_sum / new_remote_n / env.MaxPower(hottest_cpu)
+                           : env.RunqueuePowerRatio(hottest_cpu);
+    const double old_gap =
+        std::fabs(env.RunqueuePowerRatio(hottest_cpu) - env.RunqueuePowerRatio(cpu));
+    const double new_gap = std::fabs(new_remote_ratio - new_local_ratio);
+    if (new_gap >= old_gap * options_.min_gap_shrink) {
+      return result;
+    }
+  }
+  if (!env.MigrateTask(hot_task, hottest_cpu, cpu)) {
+    return result;
+  }
+  ++result.energy_migrations;
+
+  // 4. Migrate a cool task back if the pull created a load imbalance.
+  Runqueue& local = env.runqueue(cpu);
+  if (local.nr_running() > remote.nr_running() + 1) {
+    Task* cool_task = nullptr;
+    for (Task* candidate : local.queued()) {
+      if (candidate == hot_task) {
+        continue;  // do not bounce the task we just pulled
+      }
+      if (cool_task == nullptr || candidate->profile().power() < cool_task->profile().power()) {
+        cool_task = candidate;
+      }
+    }
+    if (cool_task != nullptr && env.MigrateTask(cool_task, cpu, hottest_cpu)) {
+      ++result.exchange_migrations;
+    }
+  }
+  return result;
+}
+
+int EnergyLoadBalancer::LoadStep(int cpu, const SchedDomain& domain, const CpuGroup& local_group,
+                                 BalanceEnv& env) const {
+  auto thermal_ratio = [&env](int c) { return env.ThermalPowerRatio(c); };
+
+  const CpuGroup* busiest_group = nullptr;
+  double busiest_load = 0.0;
+  for (const auto& group : domain.groups) {
+    const double load = LoadBalancer::GroupLoad(group, env);
+    if (busiest_group == nullptr || load > busiest_load) {
+      busiest_group = &group;
+      busiest_load = load;
+    }
+  }
+  if (busiest_group == nullptr || busiest_group == &local_group) {
+    return 0;
+  }
+
+  // Energy-aware task selection: pull heat from hotter groups, coolness from
+  // cooler groups, so the load step does not create energy imbalances.
+  const double local_thermal = GroupAverage(local_group, thermal_ratio);
+  const double remote_thermal = GroupAverage(*busiest_group, thermal_ratio);
+  PullPreference preference = PullPreference::kAny;
+  if (remote_thermal > local_thermal + options_.thermal_ratio_margin) {
+    preference = PullPreference::kHot;
+  } else if (remote_thermal < local_thermal - options_.thermal_ratio_margin) {
+    preference = PullPreference::kCool;
+  }
+
+  int pulled = 0;
+  while (true) {
+    Runqueue& local = env.runqueue(cpu);
+    Runqueue* busiest = nullptr;
+    for (int remote_cpu : busiest_group->cpus) {
+      Runqueue& rq = env.runqueue(remote_cpu);
+      if (busiest == nullptr || rq.nr_running() > busiest->nr_running()) {
+        busiest = &rq;
+      }
+    }
+    if (busiest == nullptr ||
+        busiest->nr_running() < local.nr_running() + options_.min_load_imbalance) {
+      break;
+    }
+    Task* task = LoadBalancer::PickTask(*busiest, preference);
+    if (task == nullptr) {
+      break;
+    }
+    if (!env.MigrateTask(task, busiest->cpu(), cpu)) {
+      break;
+    }
+    ++pulled;
+  }
+  return pulled;
+}
+
+}  // namespace eas

@@ -1,0 +1,78 @@
+#include "src/core/fu_pairing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace eas {
+
+double HotspotScore(const FuPowerVector& a, const FuPowerVector& b, double corun_speed) {
+  double peak = 0.0;
+  for (std::size_t i = 0; i < kNumFunctionalUnits; ++i) {
+    peak = std::max(peak, (a[i] + b[i]) * corun_speed);
+  }
+  return peak;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> PairForMinimumHotspot(
+    const std::vector<FuPowerVector>& profiles, double corun_speed) {
+  assert(profiles.size() % 2 == 0);
+  std::vector<bool> used(profiles.size(), false);
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(profiles.size() / 2);
+
+  for (std::size_t rounds = 0; rounds < profiles.size() / 2; ++rounds) {
+    // Pick the unpaired task with the hottest single cluster first (it
+    // constrains the solution most), then its best partner.
+    std::size_t hottest = profiles.size();
+    double hottest_peak = -1.0;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      if (used[i]) {
+        continue;
+      }
+      const double peak = *std::max_element(profiles[i].begin(), profiles[i].end());
+      if (peak > hottest_peak) {
+        hottest_peak = peak;
+        hottest = i;
+      }
+    }
+    std::size_t best_partner = profiles.size();
+    double best_score = std::numeric_limits<double>::max();
+    for (std::size_t j = 0; j < profiles.size(); ++j) {
+      if (used[j] || j == hottest) {
+        continue;
+      }
+      const double score = HotspotScore(profiles[hottest], profiles[j], corun_speed);
+      if (score < best_score) {
+        best_score = score;
+        best_partner = j;
+      }
+    }
+    used[hottest] = true;
+    used[best_partner] = true;
+    pairs.emplace_back(hottest, best_partner);
+  }
+  return pairs;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> PairInOrder(std::size_t count) {
+  assert(count % 2 == 0);
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(count / 2);
+  for (std::size_t i = 0; i + 1 < count; i += 2) {
+    pairs.emplace_back(i, i + 1);
+  }
+  return pairs;
+}
+
+double PeakClusterPower(const std::vector<FuPowerVector>& profiles,
+                        const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+                        double corun_speed) {
+  double peak = 0.0;
+  for (const auto& [a, b] : pairs) {
+    peak = std::max(peak, HotspotScore(profiles[a], profiles[b], corun_speed));
+  }
+  return peak;
+}
+
+}  // namespace eas

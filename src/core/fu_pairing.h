@@ -1,0 +1,44 @@
+// Functional-unit aware co-scheduling (paper Section 7, future work).
+//
+// "Energy-aware scheduling would even be beneficial for tasks having the
+// same power consumption, if they dissipate energy at different functional
+// units, as is the case with floating point and integer applications."
+//
+// Tasks are characterized by a per-FU power vector (an FU profile, the
+// natural extension of the scalar energy profile). When pairing tasks on
+// SMT siblings, the hotspot score of a pairing is the power of the hottest
+// cluster; minimizing it pairs integer-heavy with FP-heavy tasks even when
+// the scalar profiles are identical.
+
+#ifndef SRC_CORE_FU_PAIRING_H_
+#define SRC_CORE_FU_PAIRING_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/thermal/fu_thermal.h"
+
+namespace eas {
+
+// Peak per-cluster power when `a` and `b` co-run (both scaled by the SMT
+// co-run factor).
+double HotspotScore(const FuPowerVector& a, const FuPowerVector& b, double corun_speed);
+
+// Greedy minimum-hotspot pairing of an even number of FU profiles. Returns
+// index pairs; the overall peak cluster power over all pairs is minimized
+// greedily (optimal for the 2-cluster case, near-optimal in practice).
+std::vector<std::pair<std::size_t, std::size_t>> PairForMinimumHotspot(
+    const std::vector<FuPowerVector>& profiles, double corun_speed);
+
+// The naive pairing (task order, what an FU-blind scheduler produces).
+std::vector<std::pair<std::size_t, std::size_t>> PairInOrder(std::size_t count);
+
+// Peak cluster power over a set of pairings.
+double PeakClusterPower(const std::vector<FuPowerVector>& profiles,
+                        const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+                        double corun_speed);
+
+}  // namespace eas
+
+#endif  // SRC_CORE_FU_PAIRING_H_

@@ -1,0 +1,81 @@
+#include "src/core/initial_placement.h"
+
+#include <cmath>
+#include <limits>
+
+namespace eas {
+
+int InitialPlacement::PlaceLeastLoaded(const BalanceEnv& env) {
+  const std::size_t n = env.topology().num_logical();
+  int best = 0;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t cpu = 0; cpu < n; ++cpu) {
+    const std::size_t load = env.runqueue(static_cast<int>(cpu)).nr_running();
+    if (load < best_load) {
+      best_load = load;
+      best = static_cast<int>(cpu);
+    }
+  }
+  return best;
+}
+
+int InitialPlacement::Place(Task& task, const BalanceEnv& env,
+                            const BinaryRegistry& registry) const {
+  task.profile().Seed(registry.InitialPowerFor(task.program().binary_id()));
+  const double task_power = task.profile().power();
+
+  const std::size_t n = env.topology().num_logical();
+
+  // Eligibility: no other CPU may be running fewer tasks, and (SMT) no other
+  // candidate's package may be running fewer tasks - an idle sibling of a
+  // busy die is no substitute for an idle die.
+  std::size_t min_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t cpu = 0; cpu < n; ++cpu) {
+    min_load = std::min(min_load, env.runqueue(static_cast<int>(cpu)).nr_running());
+  }
+  auto package_load = [&env](int cpu) {
+    std::size_t load = 0;
+    for (int sibling : env.topology().SiblingsOf(cpu)) {
+      load += env.runqueue(sibling).nr_running();
+    }
+    return load;
+  };
+  std::size_t min_package_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t cpu = 0; cpu < n; ++cpu) {
+    if (env.runqueue(static_cast<int>(cpu)).nr_running() == min_load) {
+      min_package_load = std::min(min_package_load, package_load(static_cast<int>(cpu)));
+    }
+  }
+
+  // Target: the current average runqueue power ratio over all CPUs.
+  double avg_ratio = 0.0;
+  for (std::size_t cpu = 0; cpu < n; ++cpu) {
+    avg_ratio += env.RunqueuePowerRatio(static_cast<int>(cpu));
+  }
+  avg_ratio /= static_cast<double>(n);
+
+  int best = 0;
+  double best_distance = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cpu = static_cast<int>(i);
+    const Runqueue& rq = env.runqueue(cpu);
+    if (rq.nr_running() != min_load || package_load(cpu) != min_package_load) {
+      continue;
+    }
+    // Hypothetical runqueue power with the new task added.
+    const std::size_t count = rq.nr_running();
+    const double current_power = count == 0 ? 0.0 : env.RunqueuePower(cpu);
+    const double hypothetical =
+        (current_power * static_cast<double>(count) + task_power) /
+        static_cast<double>(count + 1);
+    const double ratio = hypothetical / env.MaxPower(cpu);
+    const double distance = std::fabs(ratio - avg_ratio);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = cpu;
+    }
+  }
+  return best;
+}
+
+}  // namespace eas

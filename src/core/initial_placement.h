@@ -1,0 +1,34 @@
+// Energy-aware initial task placement (paper Section 4.6).
+//
+// A new task's energy profile is seeded from the binary registry (the energy
+// its binary consumed during its first timeslice on an earlier run, or a
+// default). Placement then avoids load imbalances first - only CPUs with the
+// minimum number of running tasks are eligible - and among those picks the
+// CPU whose hypothetical runqueue power ratio (including the new task) comes
+// closest to the system-wide average ratio: hot tasks land on cool CPUs and
+// cool tasks on hot CPUs.
+
+#ifndef SRC_CORE_INITIAL_PLACEMENT_H_
+#define SRC_CORE_INITIAL_PLACEMENT_H_
+
+#include "src/sched/balance_env.h"
+#include "src/task/binary_registry.h"
+
+namespace eas {
+
+class InitialPlacement {
+ public:
+  InitialPlacement() = default;
+
+  // Seeds `task`'s profile from `registry` and returns the CPU it should
+  // start on. Does not enqueue.
+  int Place(Task& task, const BalanceEnv& env, const BinaryRegistry& registry) const;
+
+  // Baseline placement (energy-unaware): the least loaded CPU, ties broken
+  // by lowest id - what stock Linux does on exec.
+  static int PlaceLeastLoaded(const BalanceEnv& env);
+};
+
+}  // namespace eas
+
+#endif  // SRC_CORE_INITIAL_PLACEMENT_H_

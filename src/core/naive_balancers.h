@@ -1,0 +1,59 @@
+// The two single-metric balancing algorithms the paper rejects (Section 4.3)
+// - implemented for real so the failure modes are measurable:
+//
+//  * PowerOnlyBalancer decides on runqueue power alone. Power reacts
+//    instantly, so two CPUs can keep trading the same task: the pull flips
+//    the power comparison immediately and the next balancing pass on the
+//    other CPU pulls it back ("ping-pong effects").
+//
+//  * TemperatureOnlyBalancer decides on thermal power alone. Temperature
+//    lags: after all hot tasks left a CPU it *still* looks hot, so the
+//    balancer keeps pulling until the imbalance is flipped in the opposite
+//    direction ("over-balancing"), which later needs correcting again.
+//
+// Both reuse the load-step of the baseline balancer so fairness stays
+// intact; only the energy step differs from the paper's dual-metric design.
+
+#ifndef SRC_CORE_NAIVE_BALANCERS_H_
+#define SRC_CORE_NAIVE_BALANCERS_H_
+
+#include "src/sched/balance_env.h"
+
+namespace eas {
+
+class PowerOnlyBalancer {
+ public:
+  struct Options {
+    double ratio_margin = 0.04;          // same margin as the real balancer
+    std::size_t min_load_imbalance = 2;
+  };
+
+  PowerOnlyBalancer();
+  explicit PowerOnlyBalancer(const Options& options);
+
+  // One pass for `cpu`; returns tasks migrated.
+  int Balance(int cpu, BalanceEnv& env) const;
+
+ private:
+  Options options_;
+};
+
+class TemperatureOnlyBalancer {
+ public:
+  struct Options {
+    double ratio_margin = 0.04;
+    std::size_t min_load_imbalance = 2;
+  };
+
+  TemperatureOnlyBalancer();
+  explicit TemperatureOnlyBalancer(const Options& options);
+
+  int Balance(int cpu, BalanceEnv& env) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace eas
+
+#endif  // SRC_CORE_NAIVE_BALANCERS_H_

@@ -1,0 +1,21 @@
+#include "src/counters/counter_block.h"
+
+namespace eas {
+
+void CounterBlock::Accumulate(const EventVector& events) {
+  for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+    values_[i] += events[i];
+  }
+}
+
+EventVector CounterBlock::DiffSince(const EventVector& since) const {
+  EventVector diff{};
+  for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+    diff[i] = values_[i] - since[i];
+  }
+  return diff;
+}
+
+void CounterBlock::Reset() { values_ = EventVector{}; }
+
+}  // namespace eas

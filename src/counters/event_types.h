@@ -1,0 +1,62 @@
+// Event monitoring counter event classes.
+//
+// The Pentium 4 exposes dozens of countable events; the energy estimation
+// work the paper builds on (Bellosa et al., COLP'03) picks a small set that
+// can be counted simultaneously and correlates with power. We model six
+// synthetic event classes with the same flavour. Each running task emits
+// events of each class at per-phase rates; the "silicon" charges a fixed
+// energy per event (EnergyModel), and the estimator reconstructs energy from
+// the counts with calibrated weights.
+
+#ifndef SRC_COUNTERS_EVENT_TYPES_H_
+#define SRC_COUNTERS_EVENT_TYPES_H_
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace eas {
+
+enum class EventType : std::size_t {
+  kUopsRetired = 0,      // decoded micro-operations retired
+  kIntAluOps,            // integer ALU operations
+  kFpuOps,               // floating point operations
+  kMemTransactions,      // bus/memory transactions
+  kL2CacheMisses,        // L2 misses (subset of memory transactions)
+  kStackOps,             // load/store to the stack (push/pop heavy code)
+};
+
+inline constexpr std::size_t kNumEventTypes = 6;
+
+constexpr std::size_t EventIndex(EventType e) { return static_cast<std::size_t>(e); }
+
+constexpr std::string_view EventName(EventType e) {
+  switch (e) {
+    case EventType::kUopsRetired:
+      return "uops_retired";
+    case EventType::kIntAluOps:
+      return "int_alu_ops";
+    case EventType::kFpuOps:
+      return "fpu_ops";
+    case EventType::kMemTransactions:
+      return "mem_transactions";
+    case EventType::kL2CacheMisses:
+      return "l2_cache_misses";
+    case EventType::kStackOps:
+      return "stack_ops";
+  }
+  return "unknown";
+}
+
+// Events emitted during one tick (or any accounting period), in thousands of
+// events ("kilo-events"); double-valued because rates are scaled and noised.
+using EventVector = std::array<double, kNumEventTypes>;
+
+// Per-tick event rates of a task phase, in kilo-events per tick.
+using EventRates = std::array<double, kNumEventTypes>;
+
+constexpr EventVector ZeroEvents() { return EventVector{}; }
+
+}  // namespace eas
+
+#endif  // SRC_COUNTERS_EVENT_TYPES_H_

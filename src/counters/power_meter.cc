@@ -1,0 +1,12 @@
+#include "src/counters/power_meter.h"
+
+namespace eas {
+
+PowerMeter::PowerMeter(std::uint64_t seed, double relative_error_stddev)
+    : rng_(seed), relative_error_stddev_(relative_error_stddev) {}
+
+double PowerMeter::MeasureEnergy(double true_energy_joules) {
+  return true_energy_joules * (1.0 + rng_.Gaussian(0.0, relative_error_stddev_));
+}
+
+}  // namespace eas

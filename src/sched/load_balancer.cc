@@ -1,0 +1,88 @@
+#include "src/sched/load_balancer.h"
+
+namespace eas {
+
+LoadBalancer::LoadBalancer() : LoadBalancer(Options{}) {}
+
+LoadBalancer::LoadBalancer(const Options& options) : options_(options) {}
+
+double LoadBalancer::GroupLoad(const CpuGroup& group, const BalanceEnv& env) {
+  if (group.cpus.empty()) {
+    return 0.0;
+  }
+  std::size_t total = 0;
+  for (int cpu : group.cpus) {
+    total += env.runqueue(cpu).nr_running();
+  }
+  return static_cast<double>(total) / static_cast<double>(group.cpus.size());
+}
+
+Task* LoadBalancer::PickTask(const Runqueue& queue, PullPreference preference) {
+  switch (preference) {
+    case PullPreference::kAny:
+      return queue.queued().empty() ? nullptr : queue.queued().front();
+    case PullPreference::kHot:
+      return queue.HottestQueued();
+    case PullPreference::kCool:
+      return queue.CoolestQueued();
+  }
+  return nullptr;
+}
+
+int LoadBalancer::Balance(int cpu, BalanceEnv& env) const {
+  int pulled = 0;
+  for (const SchedDomain* domain : env.domains().DomainsFor(cpu)) {
+    const CpuGroup* local_group = domain->GroupOf(cpu);
+    if (local_group == nullptr) {
+      continue;
+    }
+
+    // Find the busiest group in the domain.
+    const CpuGroup* busiest_group = nullptr;
+    double busiest_load = 0.0;
+    for (const auto& group : domain->groups) {
+      const double load = GroupLoad(group, env);
+      if (busiest_group == nullptr || load > busiest_load) {
+        busiest_group = &group;
+        busiest_load = load;
+      }
+    }
+    if (busiest_group == nullptr || busiest_group == local_group) {
+      continue;  // nothing to pull at this level; ascend
+    }
+
+    // Pull from the longest queue in the busiest group while the imbalance
+    // against the local runqueue persists.
+    while (true) {
+      Runqueue& local = env.runqueue(cpu);
+      Runqueue* busiest = nullptr;
+      for (int remote_cpu : busiest_group->cpus) {
+        Runqueue& rq = env.runqueue(remote_cpu);
+        if (busiest == nullptr || rq.nr_running() > busiest->nr_running()) {
+          busiest = &rq;
+        }
+      }
+      if (busiest == nullptr ||
+          busiest->nr_running() < local.nr_running() + options_.min_imbalance) {
+        break;
+      }
+      Task* task = PickTask(*busiest, PullPreference::kAny);
+      if (task == nullptr) {
+        break;  // only the running task is left; cannot pull it
+      }
+      if (!env.MigrateTask(task, busiest->cpu(), cpu)) {
+        break;
+      }
+      ++pulled;
+    }
+
+    if (pulled > 0) {
+      // Imbalance resolved in the lowest domain possible; higher levels run
+      // on later invocations if an imbalance remains.
+      break;
+    }
+  }
+  return pulled;
+}
+
+}  // namespace eas

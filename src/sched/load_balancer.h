@@ -1,0 +1,56 @@
+// Baseline hierarchical load balancer (Linux 2.6 style).
+//
+// Runs on every CPU and only *pulls*: imbalances that would require pushing
+// are resolved when the balancer runs on the remote CPU (Section 4.4). For
+// each domain level bottom-up, find the group with the highest average
+// runqueue length; if it is not the local group and the imbalance is big
+// enough, pull tasks from the longest queue in that group. Resolving at the
+// lowest possible level keeps migrations cheap (cache/node affinity).
+//
+// This is the paper's *comparison baseline* ("energy balancing disabled"):
+// it balances load only. The merged energy+load algorithm lives in
+// src/core/energy_balancer.
+
+#ifndef SRC_SCHED_LOAD_BALANCER_H_
+#define SRC_SCHED_LOAD_BALANCER_H_
+
+#include <cstddef>
+
+#include "src/sched/balance_env.h"
+
+namespace eas {
+
+// Which task to prefer when pulling from a remote queue.
+enum class PullPreference {
+  kAny,   // baseline: whatever is first in the queue
+  kHot,   // highest energy profile (remote group is hotter than us)
+  kCool,  // lowest energy profile (remote group is cooler than us)
+};
+
+class LoadBalancer {
+ public:
+  struct Options {
+    // Minimum difference in queue lengths before a pull happens. 2 matches
+    // Linux's behaviour of tolerating a difference of one task.
+    std::size_t min_imbalance = 2;
+  };
+
+  LoadBalancer();
+  explicit LoadBalancer(const Options& options);
+
+  // One balancing pass for `cpu`. Returns the number of tasks pulled.
+  int Balance(int cpu, BalanceEnv& env) const;
+
+  // Average nr_running over a CPU group.
+  static double GroupLoad(const CpuGroup& group, const BalanceEnv& env);
+
+  // Picks a task from `queue` according to `preference`; nullptr if empty.
+  static Task* PickTask(const Runqueue& queue, PullPreference preference);
+
+ private:
+  Options options_;
+};
+
+}  // namespace eas
+
+#endif  // SRC_SCHED_LOAD_BALANCER_H_

@@ -1,0 +1,82 @@
+#include "src/sched/runqueue.h"
+
+#include <algorithm>
+
+namespace eas {
+
+void Runqueue::Enqueue(Task* task) {
+  task->set_cpu(cpu_);
+  task->set_state(TaskState::kRunnable);
+  queued_.push_back(task);
+}
+
+void Runqueue::EnqueueFront(Task* task) {
+  task->set_cpu(cpu_);
+  task->set_state(TaskState::kRunnable);
+  queued_.push_front(task);
+}
+
+bool Runqueue::Remove(Task* task) {
+  auto it = std::find(queued_.begin(), queued_.end(), task);
+  if (it == queued_.end()) {
+    return false;
+  }
+  queued_.erase(it);
+  return true;
+}
+
+Task* Runqueue::PickNext() {
+  if (queued_.empty()) {
+    current_ = nullptr;
+    return nullptr;
+  }
+  current_ = queued_.front();
+  queued_.pop_front();
+  current_->set_state(TaskState::kRunning);
+  return current_;
+}
+
+Task* Runqueue::TakeCurrent() {
+  Task* task = current_;
+  current_ = nullptr;
+  return task;
+}
+
+double Runqueue::AveragePower(double idle_power) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  if (current_ != nullptr) {
+    sum += current_->profile().power();
+    ++count;
+  }
+  for (const Task* task : queued_) {
+    sum += task->profile().power();
+    ++count;
+  }
+  if (count == 0) {
+    return idle_power;
+  }
+  return sum / static_cast<double>(count);
+}
+
+Task* Runqueue::HottestQueued() const {
+  Task* best = nullptr;
+  for (Task* task : queued_) {
+    if (best == nullptr || task->profile().power() > best->profile().power()) {
+      best = task;
+    }
+  }
+  return best;
+}
+
+Task* Runqueue::CoolestQueued() const {
+  Task* best = nullptr;
+  for (Task* task : queued_) {
+    if (best == nullptr || task->profile().power() < best->profile().power()) {
+      best = task;
+    }
+  }
+  return best;
+}
+
+}  // namespace eas

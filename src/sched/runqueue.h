@@ -1,0 +1,67 @@
+// Per logical CPU runqueue.
+//
+// Mirrors the Linux 2.6 design the paper modifies: every CPU executes tasks
+// from its local runqueue only (affinity scheduling, Section 4.1); balancers
+// migrate tasks between runqueues. The runqueue also exposes the energy view
+// the paper adds: the average energy profile over its tasks is the CPU's
+// "runqueue power" (Section 4.3).
+
+#ifndef SRC_SCHED_RUNQUEUE_H_
+#define SRC_SCHED_RUNQUEUE_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "src/task/task.h"
+
+namespace eas {
+
+class Runqueue {
+ public:
+  explicit Runqueue(int cpu) : cpu_(cpu) {}
+
+  int cpu() const { return cpu_; }
+
+  // --- queue manipulation ---------------------------------------------------
+  void Enqueue(Task* task);       // to the back (normal rotation)
+  void EnqueueFront(Task* task);  // to the front (woken tasks run soon)
+  bool Remove(Task* task);        // removes a queued task; false if absent
+
+  // Pops the next queued task and makes it current. Returns nullptr if the
+  // queue is empty (CPU goes idle).
+  Task* PickNext();
+
+  Task* current() const { return current_; }
+  void SetCurrent(Task* task) { current_ = task; }
+
+  // Detaches and returns the current task (it keeps running elsewhere or
+  // goes to sleep); the CPU will pick a new current.
+  Task* TakeCurrent();
+
+  // Queued plus current - Linux's rq->nr_running.
+  std::size_t nr_running() const { return queued_.size() + (current_ != nullptr ? 1 : 0); }
+  std::size_t nr_queued() const { return queued_.size(); }
+  bool Idle() const { return nr_running() == 0; }
+
+  const std::deque<Task*>& queued() const { return queued_; }
+
+  // --- energy view -----------------------------------------------------------
+
+  // Average energy profile power over current + queued tasks; `idle_power`
+  // for an empty queue. This is the paper's runqueue power.
+  double AveragePower(double idle_power) const;
+
+  // Hottest / coolest *queued* task (the running task can only be moved by
+  // hot task migration). nullptr if no tasks are queued.
+  Task* HottestQueued() const;
+  Task* CoolestQueued() const;
+
+ private:
+  int cpu_;
+  std::deque<Task*> queued_;
+  Task* current_ = nullptr;
+};
+
+}  // namespace eas
+
+#endif  // SRC_SCHED_RUNQUEUE_H_

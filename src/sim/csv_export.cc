@@ -1,0 +1,71 @@
+#include "src/sim/csv_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace eas {
+
+std::string SeriesSetToCsv(const SeriesSet& set) {
+  std::string out = "tick";
+  for (const auto& series : set.all()) {
+    out += ",";
+    out += series.name();
+  }
+  out += "\n";
+  if (set.size() == 0) {
+    return out;
+  }
+  const Series& first = set.at(0);
+  char buffer[64];
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(first.tick_at(i)));
+    out += buffer;
+    for (const auto& series : set.all()) {
+      if (i < series.size()) {
+        std::snprintf(buffer, sizeof(buffer), ",%.4f", series.value_at(i));
+      } else {
+        std::snprintf(buffer, sizeof(buffer), ",");
+      }
+      out += buffer;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RunSummaryToCsv(const RunResult& result) {
+  std::string out;
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "migrations,%lld\n",
+                static_cast<long long>(result.migrations));
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "completions,%lld\n",
+                static_cast<long long>(result.completions));
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "work_done_ticks,%.1f\n", result.work_done_ticks);
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "duration_seconds,%.3f\n", result.duration_seconds);
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "throughput,%.2f\n", result.Throughput());
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "avg_throttled_fraction,%.4f\n",
+                result.AverageThrottledFraction());
+  out += buffer;
+  for (std::size_t cpu = 0; cpu < result.throttled_fraction.size(); ++cpu) {
+    std::snprintf(buffer, sizeof(buffer), "throttled_fraction_cpu%zu,%.4f\n", cpu,
+                  result.throttled_fraction[cpu]);
+    out += buffer;
+  }
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream stream(path, std::ios::binary);
+  if (!stream) {
+    return false;
+  }
+  stream << contents;
+  return static_cast<bool>(stream);
+}
+
+}  // namespace eas

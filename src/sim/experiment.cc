@@ -1,0 +1,96 @@
+#include "src/sim/experiment.h"
+
+#include <algorithm>
+
+namespace eas {
+
+double RunResult::AverageThrottledFraction() const {
+  if (throttled_fraction.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double f : throttled_fraction) {
+    sum += f;
+  }
+  return sum / static_cast<double>(throttled_fraction.size());
+}
+
+double RunResult::MaxThermalSpreadAfter(Tick tick) const {
+  // Spread of the thermal power curves, evaluated at each sample time past
+  // `tick` (lets tests skip the warm-up transient).
+  double max_spread = 0.0;
+  if (thermal_power.size() == 0) {
+    return 0.0;
+  }
+  const Series& first = thermal_power.at(0);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    const Tick t = first.tick_at(i);
+    if (t < tick) {
+      continue;
+    }
+    max_spread = std::max(max_spread, thermal_power.SpreadAt(t));
+  }
+  return max_spread;
+}
+
+Experiment::Experiment(const MachineConfig& config, const Options& options)
+    : options_(options), machine_(std::make_unique<Machine>(config)) {}
+
+RunResult Experiment::Run(const std::vector<const Program*>& programs) {
+  RunResult result;
+
+  std::vector<Task*> spawned;
+  spawned.reserve(programs.size());
+  for (const Program* program : programs) {
+    spawned.push_back(machine_->Spawn(*program));
+  }
+
+  for (std::size_t cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
+    result.thermal_power.Create("cpu" + std::to_string(cpu));
+  }
+  for (std::size_t phys = 0; phys < machine_->num_physical(); ++phys) {
+    result.temperature.Create("phys" + std::to_string(phys));
+  }
+  if (options_.record_task_cpu) {
+    for (const Task* task : spawned) {
+      result.task_cpu.Create(task->name() + "#" + std::to_string(task->id()));
+    }
+  }
+
+  for (Tick t = 0; t < options_.duration_ticks; ++t) {
+    machine_->Step();
+    if (t % options_.sample_interval_ticks == 0) {
+      for (std::size_t cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
+        result.thermal_power.at(cpu).Add(t, machine_->ThermalPower(static_cast<int>(cpu)));
+      }
+      for (std::size_t phys = 0; phys < machine_->num_physical(); ++phys) {
+        result.temperature.at(phys).Add(t, machine_->Temperature(phys));
+      }
+      if (options_.record_task_cpu) {
+        for (std::size_t i = 0; i < spawned.size(); ++i) {
+          result.task_cpu.at(i).Add(t, static_cast<double>(Machine::TaskCpu(*spawned[i])));
+        }
+      }
+    }
+  }
+
+  result.migrations = machine_->migration_count();
+  result.completions = machine_->TotalCompletions();
+  result.work_done_ticks = machine_->TotalWorkDone();
+  result.duration_seconds = TicksToSeconds(options_.duration_ticks);
+  for (std::size_t cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
+    result.throttled_fraction.push_back(
+        machine_->throttle(static_cast<int>(cpu)).ThrottledFraction());
+  }
+  return result;
+}
+
+double ThroughputIncrease(const RunResult& baseline, const RunResult& test) {
+  const double base = baseline.Throughput();
+  if (base <= 0.0) {
+    return 0.0;
+  }
+  return (test.Throughput() - base) / base;
+}
+
+}  // namespace eas

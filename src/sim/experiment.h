@@ -1,0 +1,71 @@
+// Experiment harness: runs workloads on a Machine and collects the
+// quantities the paper's evaluation reports (thermal power traces, migration
+// counts, throttle percentages, throughput).
+
+#ifndef SRC_SIM_EXPERIMENT_H_
+#define SRC_SIM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/series.h"
+#include "src/sim/machine.h"
+#include "src/task/program.h"
+
+namespace eas {
+
+struct RunResult {
+  // Thermal power of every logical CPU, sampled over the run.
+  SeriesSet thermal_power;
+  // True temperature of every physical package.
+  SeriesSet temperature;
+  // Logical CPU of every task over time (Figure 9's residency trace);
+  // kInvalidCpu while sleeping.
+  SeriesSet task_cpu;
+
+  std::int64_t migrations = 0;
+  std::int64_t completions = 0;
+  double work_done_ticks = 0.0;
+  double duration_seconds = 0.0;
+
+  // Per logical CPU fraction of time spent throttled (Table 3).
+  std::vector<double> throttled_fraction;
+
+  // Work per second: the throughput measure used for the paper's
+  // "increase in throughput" numbers. (Tasks have fixed-size work units, so
+  // work/second is proportional to tasks finished per time unit but does not
+  // quantize at run boundaries.)
+  double Throughput() const {
+    return duration_seconds > 0.0 ? work_done_ticks / duration_seconds : 0.0;
+  }
+
+  double AverageThrottledFraction() const;
+  double MaxThermalSpreadAfter(Tick tick) const;
+};
+
+class Experiment {
+ public:
+  struct Options {
+    Tick duration_ticks = 900'000;     // 15 minutes, the paper's run length
+    Tick sample_interval_ticks = 500;  // trace sampling period
+    bool record_task_cpu = false;      // Figure 9 residency trace
+  };
+
+  Experiment(const MachineConfig& config, const Options& options);
+
+  // Spawns `programs` (in order) and runs for the configured duration.
+  RunResult Run(const std::vector<const Program*>& programs);
+
+  Machine& machine() { return *machine_; }
+
+ private:
+  Options options_;
+  std::unique_ptr<Machine> machine_;
+};
+
+// Relative throughput increase of `test` over `baseline` (e.g. 0.05 = +5%).
+double ThroughputIncrease(const RunResult& baseline, const RunResult& test);
+
+}  // namespace eas
+
+#endif  // SRC_SIM_EXPERIMENT_H_

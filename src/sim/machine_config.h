@@ -1,0 +1,66 @@
+// Machine configuration: topology, thermal, energy model, policy switches.
+
+#ifndef SRC_SIM_MACHINE_CONFIG_H_
+#define SRC_SIM_MACHINE_CONFIG_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/energy_sched_config.h"
+#include "src/counters/energy_model.h"
+#include "src/task/energy_profile.h"
+#include "src/thermal/cooling_profile.h"
+#include "src/topo/cpu_topology.h"
+
+namespace eas {
+
+struct MachineConfig {
+  CpuTopology topology = CpuTopology::PaperXSeries445(/*smt_enabled=*/false);
+  CoolingProfile cooling = CoolingProfile::PaperXSeries445();
+  EnergyModel model = EnergyModel::Default();
+
+  // Calibrated estimator weights. If unset, the machine calibrates on
+  // construction (the realistic path); tests can inject oracle weights.
+  std::optional<EventWeights> estimator_weights;
+  double meter_error_stddev = 0.02;
+
+  // Maximum power assignment per *physical* package:
+  //  - explicit_max_power_physical set: the experiment dictates it (e.g.
+  //    Section 6.1 sets 60 W, Section 6.4 sets 40 W);
+  //  - otherwise: derived from `temp_limit` and each package's cooling
+  //    (Section 6.2's per-CPU calibration), P_max = (T_limit - T_amb) / R.
+  std::optional<double> explicit_max_power_physical;
+  double temp_limit = 38.0;
+
+  // Whether thermal throttling is enforced (Sections 6.2/6.4) or only
+  // observed (Section 6.1 plots the would-be limit).
+  bool throttling_enabled = false;
+  double throttle_hysteresis_watts = 0.5;
+
+  // Scheduling policy switches (the paper's contribution vs baseline).
+  EnergySchedConfig sched = EnergySchedConfig::EnergyAware();
+
+  Tick timeslice_ticks = kDefaultTimesliceTicks;
+
+  // Exponential-average weight of a task's energy profile for one standard
+  // timeslice (Equation 2's p). The ablation bench sweeps this.
+  double profile_sample_weight = EnergyProfile::kDefaultSampleWeight;
+
+  // SMT co-run slowdown: per-thread speed when both siblings execute.
+  double smt_corun_speed = 0.65;
+
+  // Cache-warmup penalty after a migration: the task runs at `warmup_speed`
+  // for this many ticks (longer if the migration crossed a node).
+  Tick warmup_ticks_same_node = 3;
+  Tick warmup_ticks_cross_node = 12;
+  double warmup_speed = 0.5;
+
+  // Completed tasks restart their program (throughput accounting).
+  bool respawn_completed = true;
+
+  std::uint64_t seed = 42;
+};
+
+}  // namespace eas
+
+#endif  // SRC_SIM_MACHINE_CONFIG_H_

@@ -1,0 +1,19 @@
+#include "src/task/binary_registry.h"
+
+namespace eas {
+
+BinaryRegistry::BinaryRegistry(double default_power_watts)
+    : default_power_watts_(default_power_watts) {}
+
+void BinaryRegistry::RecordFirstTimeslice(BinaryId binary, double power_watts) {
+  table_[binary] = power_watts;
+}
+
+double BinaryRegistry::InitialPowerFor(BinaryId binary) const {
+  auto it = table_.find(binary);
+  return it == table_.end() ? default_power_watts_ : it->second;
+}
+
+bool BinaryRegistry::Knows(BinaryId binary) const { return table_.contains(binary); }
+
+}  // namespace eas

@@ -1,0 +1,42 @@
+// Binary registry for initial energy profiles (paper Section 4.6).
+//
+// "We store the amount of energy a task consumes during its first timeslice
+// in a hash table indexed by the inode number of the task's corresponding
+// binary file. If a new task is started from the same binary, we initialize
+// its energy profile from the hash table. For binaries started for the very
+// first time, we use a default value."
+
+#ifndef SRC_TASK_BINARY_REGISTRY_H_
+#define SRC_TASK_BINARY_REGISTRY_H_
+
+#include <unordered_map>
+
+#include "src/task/program.h"
+
+namespace eas {
+
+class BinaryRegistry {
+ public:
+  // `default_power_watts`: the profile seed for never-seen binaries.
+  explicit BinaryRegistry(double default_power_watts = 40.0);
+
+  // Records the power observed during a task's first timeslice. Later
+  // recordings refresh the entry (first-timeslice behaviour can drift as the
+  // system state changes).
+  void RecordFirstTimeslice(BinaryId binary, double power_watts);
+
+  // Initial profile power for a new task started from `binary`.
+  double InitialPowerFor(BinaryId binary) const;
+
+  bool Knows(BinaryId binary) const;
+  double default_power() const { return default_power_watts_; }
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  double default_power_watts_;
+  std::unordered_map<BinaryId, double> table_;
+};
+
+}  // namespace eas
+
+#endif  // SRC_TASK_BINARY_REGISTRY_H_

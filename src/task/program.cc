@@ -1,0 +1,16 @@
+#include "src/task/program.h"
+
+#include <cassert>
+
+namespace eas {
+
+Program::Program(std::string name, BinaryId binary_id, std::vector<Phase> phases,
+                 Tick total_work_ticks)
+    : name_(std::move(name)),
+      binary_id_(binary_id),
+      phases_(std::move(phases)),
+      total_work_ticks_(total_work_ticks) {
+  assert(!phases_.empty());
+}
+
+}  // namespace eas

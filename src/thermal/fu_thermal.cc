@@ -1,0 +1,58 @@
+#include "src/thermal/fu_thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eas {
+
+FuPowerVector SplitDynamicPower(const EventVector& events_per_tick, const EventWeights& weights,
+                                double tick_seconds) {
+  FuPowerVector power{};
+  auto energy_of = [&](EventType type) {
+    return weights[EventIndex(type)] * events_per_tick[EventIndex(type)];
+  };
+  const double integer = energy_of(EventType::kUopsRetired) + energy_of(EventType::kIntAluOps) +
+                         energy_of(EventType::kStackOps);
+  const double fp = energy_of(EventType::kFpuOps);
+  const double mem =
+      energy_of(EventType::kMemTransactions) + energy_of(EventType::kL2CacheMisses);
+  power[static_cast<std::size_t>(FunctionalUnit::kIntegerCluster)] = integer / tick_seconds;
+  power[static_cast<std::size_t>(FunctionalUnit::kFpCluster)] = fp / tick_seconds;
+  power[static_cast<std::size_t>(FunctionalUnit::kMemCluster)] = mem / tick_seconds;
+  return power;
+}
+
+FuThermalModel::FuThermalModel(const FuThermalParams& params)
+    : params_(params), spreader_(params.package) {
+  fu_temp_.fill(params.package.ambient);
+}
+
+void FuThermalModel::Step(const FuPowerVector& fu_power, double base_power_watts,
+                          double dt_seconds) {
+  // The spreader integrates the total power with the package RC model.
+  double total = base_power_watts;
+  for (double p : fu_power) {
+    total += p;
+  }
+  spreader_.Step(total, dt_seconds);
+
+  // Each cluster relaxes toward spreader_temp + R_fu * (its power + its base
+  // share) with the (fast) FU time constant.
+  const double base_share = base_power_watts / static_cast<double>(kNumFunctionalUnits);
+  const double decay = std::exp(-dt_seconds / params_.FuTimeConstant());
+  for (std::size_t i = 0; i < kNumFunctionalUnits; ++i) {
+    const double target =
+        spreader_.temperature() + params_.fu_resistance * (fu_power[i] + base_share);
+    fu_temp_[i] = target + (fu_temp_[i] - target) * decay;
+  }
+}
+
+double FuThermalModel::FuTemperature(FunctionalUnit fu) const {
+  return fu_temp_[static_cast<std::size_t>(fu)];
+}
+
+double FuThermalModel::MaxFuTemperature() const {
+  return *std::max_element(fu_temp_.begin(), fu_temp_.end());
+}
+
+}  // namespace eas

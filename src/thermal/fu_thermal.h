@@ -1,0 +1,84 @@
+// Per functional-unit thermal model (paper Section 7, future work).
+//
+// "Since energy is dissipated at individual functional units of a processor,
+// chip temperature is likely to be distributed non-uniformly... Future work
+// could incorporate a more elaborate thermal model featuring multiple
+// temperatures, and could characterize tasks not only by their power
+// consumption, but also by the location at which energy is dissipated."
+//
+// We model three on-die clusters (integer, floating point, memory/cache),
+// each a small RC node coupled to a shared spreader/heat-sink node that in
+// turn follows the package-level RC model. FU time constants are much
+// shorter than the package's (hundreds of ms vs ~12 s), so local hotspots
+// form and decay quickly - which is exactly why two tasks with equal total
+// power but different instruction mixes stress a die differently.
+
+#ifndef SRC_THERMAL_FU_THERMAL_H_
+#define SRC_THERMAL_FU_THERMAL_H_
+
+#include <array>
+#include <cstddef>
+
+#include "src/counters/energy_model.h"
+#include "src/counters/event_types.h"
+#include "src/thermal/rc_model.h"
+
+namespace eas {
+
+enum class FunctionalUnit : std::size_t {
+  kIntegerCluster = 0,  // ALUs, decode, stack engine
+  kFpCluster,           // FPU/SIMD
+  kMemCluster,          // load/store, caches, bus interface
+};
+
+inline constexpr std::size_t kNumFunctionalUnits = 3;
+
+// Dynamic power per functional unit (W).
+using FuPowerVector = std::array<double, kNumFunctionalUnits>;
+
+// Splits the dynamic power of an event batch across the functional units:
+// uops/ALU/stack events heat the integer cluster, FPU events the FP cluster,
+// memory transactions and misses the memory cluster.
+FuPowerVector SplitDynamicPower(const EventVector& events_per_tick, const EventWeights& weights,
+                                double tick_seconds);
+
+struct FuThermalParams {
+  // Thermal resistance from each FU cluster to the spreader (K/W). Small
+  // area -> high resistance -> pronounced local hotspots.
+  double fu_resistance = 0.8;
+  // Thermal capacitance of one cluster (J/K). Small -> fast hotspots.
+  double fu_capacitance = 0.25;
+  // The spreader/heat-sink node uses the package-level params.
+  ThermalParams package;
+
+  double FuTimeConstant() const { return fu_resistance * fu_capacitance; }
+};
+
+class FuThermalModel {
+ public:
+  explicit FuThermalModel(const FuThermalParams& params);
+
+  // Advances by dt with per-FU dynamic power plus a base power spread evenly
+  // over the clusters.
+  void Step(const FuPowerVector& fu_power, double base_power_watts, double dt_seconds);
+
+  // Temperature of one cluster (deg C).
+  double FuTemperature(FunctionalUnit fu) const;
+
+  // Hottest cluster temperature: what a hotspot-aware throttle would watch.
+  double MaxFuTemperature() const;
+
+  // Spreader (package) temperature - what the single-diode model reports.
+  double SpreaderTemperature() const { return spreader_.temperature(); }
+
+  const FuThermalParams& params() const { return params_; }
+
+ private:
+  FuThermalParams params_;
+  RcThermalModel spreader_;
+  std::array<double, kNumFunctionalUnits> fu_temp_{};
+};
+
+}  // namespace eas
+
+#endif  // SRC_THERMAL_FU_THERMAL_H_

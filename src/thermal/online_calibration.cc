@@ -1,0 +1,64 @@
+#include "src/thermal/online_calibration.h"
+
+#include "src/base/linear_solver.h"
+
+namespace eas {
+
+OnlineThermalCalibrator::OnlineThermalCalibrator(double ambient, double window_seconds)
+    : ambient_(ambient), window_seconds_(window_seconds) {}
+
+void OnlineThermalCalibrator::AddSample(double power_watts, double diode_temperature,
+                                        double dt_seconds) {
+  if (!have_start_) {
+    window_start_temp_ = diode_temperature;
+    have_start_ = true;
+    return;
+  }
+  acc_power_time_ += power_watts * dt_seconds;
+  acc_time_ += dt_seconds;
+  if (acc_time_ + 1e-9 >= window_seconds_) {
+    Window window;
+    window.mean_power = acc_power_time_ / acc_time_;
+    window.start_temp = window_start_temp_;
+    window.end_temp = diode_temperature;
+    window.duration = acc_time_;
+    windows_.push_back(window);
+    window_start_temp_ = diode_temperature;
+    acc_power_time_ = 0.0;
+    acc_time_ = 0.0;
+  }
+}
+
+std::optional<ThermalParams> OnlineThermalCalibrator::Fit() const {
+  if (windows_.size() < kMinWindows) {
+    return std::nullopt;
+  }
+  // Regression: dT = a * (P * dt) - b * ((T - Ta) * dt), unknowns a = 1/C,
+  // b = 1/(R*C). Using per-window integrals keeps the fit correct for
+  // variable window durations.
+  Matrix design(windows_.size(), 2);
+  std::vector<double> delta(windows_.size(), 0.0);
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const Window& w = windows_[i];
+    const double mid_temp = 0.5 * (w.start_temp + w.end_temp);
+    design.at(i, 0) = w.mean_power * w.duration;
+    design.at(i, 1) = -(mid_temp - ambient_) * w.duration;
+    delta[i] = w.end_temp - w.start_temp;
+  }
+  auto solution = LeastSquares(design, delta);
+  if (!solution.has_value()) {
+    return std::nullopt;
+  }
+  const double a = (*solution)[0];
+  const double b = (*solution)[1];
+  if (a <= 0.0 || b <= 0.0) {
+    return std::nullopt;  // unphysical: the data did not excite the model
+  }
+  ThermalParams params;
+  params.capacitance = 1.0 / a;
+  params.resistance = a / b;
+  params.ambient = ambient_;
+  return params;
+}
+
+}  // namespace eas

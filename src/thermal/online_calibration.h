@@ -1,0 +1,72 @@
+// On-line thermal model calibration (paper Section 4.2).
+//
+// "Calibration could also be done on-line by simultaneously observing
+// temperature (read from the chip's thermal diode) and power consumption
+// (derived from energy estimation) to account for changes in the cooling
+// system, e.g. the activation or deactivation of additional fans, or
+// changes in the ambient temperature."
+//
+// The estimator fits the RC model's parameters from (power, temperature)
+// samples. Discretizing C*dT/dt = P - (T - T_amb)/R over a sampling period
+// dt gives the regression
+//     T_{i+1} - T_i  =  (dt/C) * P_i  -  (dt/(R*C)) * (T_i - T_amb)
+// which is linear in a = dt/C and b = dt/(R*C); least squares recovers
+//     C = dt / a       R = a / b.
+// Diode quantization (~1 K) is handled by aggregating samples over windows
+// long enough for real temperature movement to dominate the quantization
+// error.
+
+#ifndef SRC_THERMAL_ONLINE_CALIBRATION_H_
+#define SRC_THERMAL_ONLINE_CALIBRATION_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/thermal/rc_model.h"
+
+namespace eas {
+
+class OnlineThermalCalibrator {
+ public:
+  // `ambient`: assumed ambient temperature (deg C); `window_seconds`: how
+  // much time one regression sample aggregates (longer windows suppress
+  // diode quantization noise).
+  OnlineThermalCalibrator(double ambient, double window_seconds);
+
+  // Feeds one observation: average power over the period and the diode
+  // reading at the period's end, `dt_seconds` after the previous sample.
+  void AddSample(double power_watts, double diode_temperature, double dt_seconds);
+
+  // Number of aggregated regression windows so far.
+  std::size_t windows() const { return windows_.size(); }
+
+  // Fits R and C. Returns nullopt with fewer than `kMinWindows` windows or
+  // if the observations do not excite the model (constant power).
+  std::optional<ThermalParams> Fit() const;
+
+  static constexpr std::size_t kMinWindows = 8;
+
+ private:
+  struct Window {
+    double mean_power = 0.0;
+    double start_temp = 0.0;
+    double end_temp = 0.0;
+    double duration = 0.0;
+  };
+
+  double ambient_;
+  double window_seconds_;
+
+  // Accumulation state of the open window.
+  double acc_power_time_ = 0.0;
+  double acc_time_ = 0.0;
+  double window_start_temp_ = 0.0;
+  bool have_start_ = false;
+
+  std::vector<Window> windows_;
+};
+
+}  // namespace eas
+
+#endif  // SRC_THERMAL_ONLINE_CALIBRATION_H_

@@ -1,0 +1,23 @@
+#include "src/thermal/rc_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace eas {
+
+RcThermalModel::RcThermalModel(const ThermalParams& params)
+    : params_(params), temperature_(params.ambient) {
+  assert(params.resistance > 0.0);
+  assert(params.capacitance > 0.0);
+}
+
+void RcThermalModel::Step(double power_watts, double dt_seconds) {
+  // Exact solution of the linear ODE over the step (unconditionally stable,
+  // exact for constant power within the step):
+  //   T(t+dt) = T_ss + (T(t) - T_ss) * exp(-dt / tau)
+  const double t_ss = params_.SteadyStateTemp(power_watts);
+  const double decay = std::exp(-dt_seconds / params_.TimeConstant());
+  temperature_ = t_ss + (temperature_ - t_ss) * decay;
+}
+
+}  // namespace eas

@@ -1,0 +1,14 @@
+#include "src/thermal/thermal_sensor.h"
+
+#include <cmath>
+
+namespace eas {
+
+ThermalSensor::ThermalSensor(double resolution, Tick read_latency_ticks)
+    : resolution_(resolution), read_latency_ticks_(read_latency_ticks) {}
+
+double ThermalSensor::Read(double true_temperature) const {
+  return std::floor(true_temperature / resolution_) * resolution_;
+}
+
+}  // namespace eas

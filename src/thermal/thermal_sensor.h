@@ -1,0 +1,36 @@
+// Thermal diode model (paper Section 3.1).
+//
+// Contemporary thermal diodes are slow to read (several milliseconds over the
+// system management bus) and coarse (about 1 K resolution) - which is exactly
+// why per-timeslice energy accounting must come from event counters instead.
+// The sensor exists so the simulator can demonstrate that limitation and so
+// on-line thermal calibration has something to read.
+
+#ifndef SRC_THERMAL_THERMAL_SENSOR_H_
+#define SRC_THERMAL_THERMAL_SENSOR_H_
+
+#include "src/base/time.h"
+
+namespace eas {
+
+class ThermalSensor {
+ public:
+  // `resolution` in Kelvin, `read_latency_ticks` charged per read.
+  ThermalSensor(double resolution, Tick read_latency_ticks);
+
+  // Quantized reading of the true temperature.
+  double Read(double true_temperature) const;
+
+  // Cost of one read, in ticks of CPU time (models the SMBus stall).
+  Tick read_latency_ticks() const { return read_latency_ticks_; }
+
+  double resolution() const { return resolution_; }
+
+ private:
+  double resolution_;
+  Tick read_latency_ticks_;
+};
+
+}  // namespace eas
+
+#endif  // SRC_THERMAL_THERMAL_SENSOR_H_

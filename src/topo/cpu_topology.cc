@@ -1,0 +1,54 @@
+#include "src/topo/cpu_topology.h"
+
+#include <cassert>
+
+namespace eas {
+
+CpuTopology::CpuTopology(std::size_t num_nodes, std::size_t physical_per_node,
+                         std::size_t smt_per_physical)
+    : num_nodes_(num_nodes),
+      physical_per_node_(physical_per_node),
+      smt_per_physical_(smt_per_physical) {
+  assert(num_nodes >= 1);
+  assert(physical_per_node >= 1);
+  assert(smt_per_physical >= 1);
+}
+
+CpuTopology CpuTopology::PaperXSeries445(bool smt_enabled) {
+  return CpuTopology(2, 4, smt_enabled ? 2 : 1);
+}
+
+std::size_t CpuTopology::PhysicalOf(int logical) const {
+  assert(logical >= 0 && static_cast<std::size_t>(logical) < num_logical());
+  return static_cast<std::size_t>(logical) % num_physical();
+}
+
+std::size_t CpuTopology::NodeOf(int logical) const {
+  return PhysicalOf(logical) / physical_per_node_;
+}
+
+std::size_t CpuTopology::ThreadOf(int logical) const {
+  return static_cast<std::size_t>(logical) / num_physical();
+}
+
+int CpuTopology::LogicalId(std::size_t physical, std::size_t thread) const {
+  assert(physical < num_physical());
+  assert(thread < smt_per_physical_);
+  return static_cast<int>(thread * num_physical() + physical);
+}
+
+std::vector<int> CpuTopology::SiblingsOf(int logical) const {
+  const std::size_t physical = PhysicalOf(logical);
+  std::vector<int> siblings;
+  siblings.reserve(smt_per_physical_);
+  for (std::size_t t = 0; t < smt_per_physical_; ++t) {
+    siblings.push_back(LogicalId(physical, t));
+  }
+  return siblings;
+}
+
+bool CpuTopology::AreSiblings(int a, int b) const { return PhysicalOf(a) == PhysicalOf(b); }
+
+bool CpuTopology::SameNode(int a, int b) const { return NodeOf(a) == NodeOf(b); }
+
+}  // namespace eas

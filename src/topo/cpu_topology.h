@@ -1,0 +1,58 @@
+// CPU topology: nodes x physical packages x SMT threads.
+//
+// Logical CPU numbering follows the paper's machine (Section 6.4): sibling
+// IDs differ in the most significant bit, i.e. logical = thread * num_physical
+// + physical. On the 8-way 2-thread xSeries 445, CPU 0's sibling is CPU 8,
+// CPUs 0-3 (+ siblings 8-11) live on node 0, CPUs 4-7 (+12-15) on node 1.
+
+#ifndef SRC_TOPO_CPU_TOPOLOGY_H_
+#define SRC_TOPO_CPU_TOPOLOGY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace eas {
+
+class CpuTopology {
+ public:
+  CpuTopology(std::size_t num_nodes, std::size_t physical_per_node, std::size_t smt_per_physical);
+
+  // The paper's evaluation machine: 2 nodes x 4 physical x 2 threads.
+  static CpuTopology PaperXSeries445(bool smt_enabled);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t physical_per_node() const { return physical_per_node_; }
+  std::size_t smt_per_physical() const { return smt_per_physical_; }
+  std::size_t num_physical() const { return num_nodes_ * physical_per_node_; }
+  std::size_t num_logical() const { return num_physical() * smt_per_physical_; }
+
+  // Physical package of a logical CPU.
+  std::size_t PhysicalOf(int logical) const;
+
+  // NUMA node of a logical CPU.
+  std::size_t NodeOf(int logical) const;
+
+  // SMT thread index (0 .. smt_per_physical-1) of a logical CPU.
+  std::size_t ThreadOf(int logical) const;
+
+  // Logical CPU id for (physical package, thread index).
+  int LogicalId(std::size_t physical, std::size_t thread) const;
+
+  // All logical CPUs on the same physical package as `logical` (includes it).
+  std::vector<int> SiblingsOf(int logical) const;
+
+  // True if a and b share a physical package.
+  bool AreSiblings(int a, int b) const;
+
+  // True if a and b are on the same NUMA node.
+  bool SameNode(int a, int b) const;
+
+ private:
+  std::size_t num_nodes_;
+  std::size_t physical_per_node_;
+  std::size_t smt_per_physical_;
+};
+
+}  // namespace eas
+
+#endif  // SRC_TOPO_CPU_TOPOLOGY_H_

@@ -1,0 +1,104 @@
+#include "src/topo/sched_domain.h"
+
+#include <algorithm>
+
+namespace eas {
+
+bool CpuGroup::Contains(int cpu) const {
+  return std::find(cpus.begin(), cpus.end(), cpu) != cpus.end();
+}
+
+bool SchedDomain::Contains(int cpu) const {
+  return std::find(cpus.begin(), cpus.end(), cpu) != cpus.end();
+}
+
+const CpuGroup* SchedDomain::GroupOf(int cpu) const {
+  for (const auto& group : groups) {
+    if (group.Contains(cpu)) {
+      return &group;
+    }
+  }
+  return nullptr;
+}
+
+DomainHierarchy DomainHierarchy::Build(const CpuTopology& topology) {
+  DomainHierarchy hierarchy;
+  int level = 0;
+
+  // SMT level: one domain per physical package; one group per logical CPU.
+  if (topology.smt_per_physical() > 1) {
+    for (std::size_t phys = 0; phys < topology.num_physical(); ++phys) {
+      SchedDomain domain;
+      domain.level = level;
+      domain.flags = kDomainNoEnergyBalance;
+      domain.name = "smt" + std::to_string(phys);
+      for (std::size_t t = 0; t < topology.smt_per_physical(); ++t) {
+        const int cpu = topology.LogicalId(phys, t);
+        domain.cpus.push_back(cpu);
+        domain.groups.push_back(CpuGroup{{cpu}});
+      }
+      hierarchy.domains_.push_back(std::move(domain));
+    }
+    ++level;
+  }
+
+  // Node level: one domain per node; one group per physical package.
+  if (topology.physical_per_node() > 1 || topology.num_nodes() == 1) {
+    for (std::size_t node = 0; node < topology.num_nodes(); ++node) {
+      SchedDomain domain;
+      domain.level = level;
+      domain.name = "node" + std::to_string(node);
+      for (std::size_t p = 0; p < topology.physical_per_node(); ++p) {
+        const std::size_t phys = node * topology.physical_per_node() + p;
+        CpuGroup group;
+        for (std::size_t t = 0; t < topology.smt_per_physical(); ++t) {
+          const int cpu = topology.LogicalId(phys, t);
+          group.cpus.push_back(cpu);
+          domain.cpus.push_back(cpu);
+        }
+        domain.groups.push_back(std::move(group));
+      }
+      hierarchy.domains_.push_back(std::move(domain));
+    }
+    ++level;
+  }
+
+  // Top level: one domain spanning the system; one group per node.
+  if (topology.num_nodes() > 1) {
+    SchedDomain domain;
+    domain.level = level;
+    domain.flags = kDomainCrossesNode;
+    domain.name = "top";
+    for (std::size_t node = 0; node < topology.num_nodes(); ++node) {
+      CpuGroup group;
+      for (std::size_t p = 0; p < topology.physical_per_node(); ++p) {
+        const std::size_t phys = node * topology.physical_per_node() + p;
+        for (std::size_t t = 0; t < topology.smt_per_physical(); ++t) {
+          const int cpu = topology.LogicalId(phys, t);
+          group.cpus.push_back(cpu);
+          domain.cpus.push_back(cpu);
+        }
+      }
+      domain.groups.push_back(std::move(group));
+    }
+    hierarchy.domains_.push_back(std::move(domain));
+    ++level;
+  }
+
+  hierarchy.num_levels_ = static_cast<std::size_t>(level);
+  return hierarchy;
+}
+
+std::vector<const SchedDomain*> DomainHierarchy::DomainsFor(int cpu) const {
+  std::vector<const SchedDomain*> result;
+  for (const auto& domain : domains_) {
+    if (domain.Contains(cpu)) {
+      result.push_back(&domain);
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const SchedDomain* a, const SchedDomain* b) { return a->level < b->level; });
+  return result;
+}
+
+}  // namespace eas

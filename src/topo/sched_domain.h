@@ -1,0 +1,68 @@
+// Scheduler domains (paper Section 4.1, Figure 1; Linux sched-domains.txt).
+//
+// A scheduler domain spans a set of CPUs partitioned into CPU groups.
+// Domains stack hierarchically: the SMT level groups the logical CPUs of one
+// physical package, the node level groups the physical packages of one NUMA
+// node, the top level groups the nodes. Balancing resolves imbalances in the
+// lowest (cheapest) domain possible, and the SMT level carries a flag telling
+// the energy balancer to skip it (Section 4.7: siblings share the die, so
+// balancing energy between them is pointless).
+
+#ifndef SRC_TOPO_SCHED_DOMAIN_H_
+#define SRC_TOPO_SCHED_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topo/cpu_topology.h"
+
+namespace eas {
+
+struct CpuGroup {
+  std::vector<int> cpus;
+
+  bool Contains(int cpu) const;
+};
+
+enum DomainFlags : std::uint32_t {
+  kDomainNone = 0,
+  // Energy balancing is skipped within this domain (SMT sibling level).
+  kDomainNoEnergyBalance = 1u << 0,
+  // Migrations within this domain cross a NUMA node boundary.
+  kDomainCrossesNode = 1u << 1,
+};
+
+struct SchedDomain {
+  int level = 0;                 // 0 = lowest (cheapest balancing)
+  std::uint32_t flags = kDomainNone;
+  std::string name;
+  std::vector<int> cpus;         // union of all groups
+  std::vector<CpuGroup> groups;
+
+  bool Contains(int cpu) const;
+  // Group containing `cpu`, or nullptr.
+  const CpuGroup* GroupOf(int cpu) const;
+};
+
+// The per-system domain hierarchy. DomainsFor(cpu) yields the stack of
+// domains containing a CPU, bottom-up, which is the traversal order of both
+// balancing algorithms (Figures 4 and 5).
+class DomainHierarchy {
+ public:
+  static DomainHierarchy Build(const CpuTopology& topology);
+
+  const std::vector<SchedDomain>& domains() const { return domains_; }
+  std::size_t num_levels() const { return num_levels_; }
+
+  // Domains containing `cpu`, ordered lowest level first.
+  std::vector<const SchedDomain*> DomainsFor(int cpu) const;
+
+ private:
+  std::vector<SchedDomain> domains_;
+  std::size_t num_levels_ = 0;
+};
+
+}  // namespace eas
+
+#endif  // SRC_TOPO_SCHED_DOMAIN_H_

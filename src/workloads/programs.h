@@ -1,0 +1,99 @@
+// The paper's benchmark programs as phase/event-rate models.
+//
+// Table 2 programs (the scheduling workloads):
+//   bitcnts  61 W  bit counting operations      (ALU bound, hottest)
+//   memrw    38 W  memory reads/writes          (memory bound, coolest)
+//   aluadd   50 W  integer additions
+//   pushpop  47 W  stack push/pop
+//   openssl  42-57 W  benchmark mode, cycles through cipher/digest phases
+//   bzip2    48 W  file compression, block phases with brief I/O dips
+//
+// Table 1 programs (the phase-stability study) additionally include bash,
+// grep and sshd: interactive/IO-bound programs whose per-timeslice power is
+// almost constant (low max change) versus batch programs with pronounced
+// phase changes (high max change, still low average change).
+//
+// Event rates are derived from relative signatures scaled against the
+// EnergyModel so each program dissipates exactly its Table 2 wattage when
+// running alone on a physical CPU.
+
+#ifndef SRC_WORKLOADS_PROGRAMS_H_
+#define SRC_WORKLOADS_PROGRAMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/counters/energy_model.h"
+#include "src/task/program.h"
+
+namespace eas {
+
+// Stable binary ids ("inode numbers") for the initial-placement hash table.
+enum PaperBinaryId : BinaryId {
+  kBinBitcnts = 1001,
+  kBinMemrw = 1002,
+  kBinAluadd = 1003,
+  kBinPushpop = 1004,
+  kBinOpenssl = 1005,
+  kBinBzip2 = 1006,
+  kBinBash = 1007,
+  kBinGrep = 1008,
+  kBinSshd = 1009,
+  kBinShortHot = 1010,
+  kBinShortCool = 1011,
+};
+
+class ProgramLibrary {
+ public:
+  // Builds all program models against `model`. `work_ticks` is the default
+  // amount of work after which a task completes and respawns (throughput
+  // accounting); individual programs scale it.
+  explicit ProgramLibrary(const EnergyModel& model, Tick work_ticks = 60'000);
+
+  const Program& bitcnts() const { return *bitcnts_; }
+  const Program& memrw() const { return *memrw_; }
+  const Program& aluadd() const { return *aluadd_; }
+  const Program& pushpop() const { return *pushpop_; }
+  const Program& openssl() const { return *openssl_; }
+  const Program& bzip2() const { return *bzip2_; }
+  const Program& bash() const { return *bash_; }
+  const Program& grep() const { return *grep_; }
+  const Program& sshd() const { return *sshd_; }
+
+  // Short-running tasks (<1 s of work) for the initial-placement experiment
+  // (Section 6.2: "workload of short running tasks").
+  const Program& short_hot() const { return *short_hot_; }
+  const Program& short_cool() const { return *short_cool_; }
+
+  // The six Table 2 programs, in table order.
+  std::vector<const Program*> Table2Programs() const;
+
+  // The five Table 1 programs, in table order.
+  std::vector<const Program*> Table1Programs() const;
+
+  const Program* ByName(const std::string& name) const;
+
+  // Nominal full-speed power (W) of a program's phase 0 under `model`.
+  static double NominalPower(const EnergyModel& model, const Program& program);
+
+ private:
+  std::vector<std::unique_ptr<Program>> owned_;
+  const Program* bitcnts_;
+  const Program* memrw_;
+  const Program* aluadd_;
+  const Program* pushpop_;
+  const Program* openssl_;
+  const Program* bzip2_;
+  const Program* bash_;
+  const Program* grep_;
+  const Program* sshd_;
+  const Program* short_hot_;
+  const Program* short_cool_;
+
+  const Program* Add(std::unique_ptr<Program> program);
+};
+
+}  // namespace eas
+
+#endif  // SRC_WORKLOADS_PROGRAMS_H_

@@ -1,0 +1,81 @@
+#include "src/workloads/workload_builder.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace eas {
+
+std::vector<const Program*> MixedWorkload(const ProgramLibrary& library, int instances) {
+  std::vector<const Program*> spawn;
+  for (int i = 0; i < instances; ++i) {
+    for (const Program* program : library.Table2Programs()) {
+      spawn.push_back(program);
+    }
+  }
+  return spawn;
+}
+
+std::vector<const Program*> HomogeneityWorkload(const ProgramLibrary& library, int n_memrw,
+                                                int n_pushpop, int n_bitcnts) {
+  std::vector<const Program*> spawn;
+  int remaining[3] = {n_memrw, n_pushpop, n_bitcnts};
+  const Program* programs[3] = {&library.memrw(), &library.pushpop(), &library.bitcnts()};
+  // Round-robin interleave so queues mix under naive placement too.
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int i = 0; i < 3; ++i) {
+      if (remaining[i] > 0) {
+        spawn.push_back(programs[i]);
+        --remaining[i];
+        any = true;
+      }
+    }
+  }
+  return spawn;
+}
+
+std::vector<const Program*> HotTaskWorkload(const ProgramLibrary& library, int n) {
+  return std::vector<const Program*>(static_cast<std::size_t>(n), &library.bitcnts());
+}
+
+std::vector<const Program*> ParseWorkloadSpec(const std::string& spec,
+                                              const ProgramLibrary& library) {
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (kind == "mixed") {
+    const int instances = arg.empty() ? 3 : std::atoi(arg.c_str());
+    return instances >= 0 ? MixedWorkload(library, instances)
+                          : std::vector<const Program*>{};
+  }
+  if (kind == "homog") {
+    int memrw = -1;
+    int pushpop = -1;
+    int bitcnts = -1;
+    if (std::sscanf(arg.c_str(), "%d,%d,%d", &memrw, &pushpop, &bitcnts) != 3 || memrw < 0 ||
+        pushpop < 0 || bitcnts < 0) {
+      return {};
+    }
+    return HomogeneityWorkload(library, memrw, pushpop, bitcnts);
+  }
+  if (kind == "hot") {
+    const int n = arg.empty() ? 1 : std::atoi(arg.c_str());
+    return n >= 0 ? HotTaskWorkload(library, n) : std::vector<const Program*>{};
+  }
+  if (kind == "short") {
+    const int n = arg.empty() ? 16 : std::atoi(arg.c_str());
+    if (n < 0) {
+      return {};
+    }
+    std::vector<const Program*> spawn;
+    spawn.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      spawn.push_back(i % 2 == 0 ? &library.short_hot() : &library.short_cool());
+    }
+    return spawn;
+  }
+  return {};
+}
+
+}  // namespace eas

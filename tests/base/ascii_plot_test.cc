@@ -1,0 +1,103 @@
+#include "src/base/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eas {
+namespace {
+
+int CountLines(const std::string& s) {
+  int lines = 0;
+  for (char c : s) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  return lines;
+}
+
+TEST(AsciiPlotTest, RendersRequestedDimensions) {
+  SeriesSet set;
+  Series& a = set.Create("a");
+  a.Add(0, 1.0);
+  a.Add(100, 5.0);
+  PlotOptions options;
+  options.width = 40;
+  options.height = 8;
+  options.y_max = 10.0;
+  const std::string plot = RenderPlot(set, options);
+  EXPECT_EQ(CountLines(plot), 9);  // height rows + axis
+  std::istringstream lines(plot);
+  std::string line;
+  std::getline(lines, line);
+  // "%7.1f |" prefix (8 chars of label + separator) plus the grid width.
+  EXPECT_EQ(line.size(), 9u + 40u);
+}
+
+TEST(AsciiPlotTest, SeriesGetDistinctSymbols) {
+  SeriesSet set;
+  set.Create("a").Add(0, 2.0);
+  set.Create("b").Add(50, 5.0);
+  PlotOptions options;
+  options.y_max = 10.0;
+  const std::string plot = RenderPlot(set, options);
+  EXPECT_NE(plot.find('0'), std::string::npos);
+  EXPECT_NE(plot.find('1'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, MarkerLineDrawn) {
+  SeriesSet set;
+  set.Create("a").Add(0, 2.0);
+  PlotOptions options;
+  options.y_max = 10.0;
+  options.marker = 5.0;
+  options.use_marker = true;
+  const std::string plot = RenderPlot(set, options);
+  EXPECT_NE(plot.find('-'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, AutoScalesFromData) {
+  SeriesSet set;
+  Series& a = set.Create("a");
+  a.Add(0, 95.0);
+  PlotOptions options;  // y_max unset -> auto
+  const std::string plot = RenderPlot(set, options);
+  // The top label must be >= the max sample.
+  std::istringstream lines(plot);
+  std::string first;
+  std::getline(lines, first);
+  EXPECT_GE(std::stod(first), 95.0);
+}
+
+TEST(AsciiPlotTest, ValuesClampedIntoGrid) {
+  SeriesSet set;
+  Series& a = set.Create("a");
+  a.Add(0, 1000.0);  // above y_max
+  a.Add(10, -50.0);  // below y_min
+  PlotOptions options;
+  options.y_max = 10.0;
+  const std::string plot = RenderPlot(set, options);
+  EXPECT_NE(plot.find('0'), std::string::npos);  // both samples rendered
+}
+
+TEST(AsciiPlotTest, LabelAppended) {
+  SeriesSet set;
+  set.Create("a").Add(0, 1.0);
+  PlotOptions options;
+  options.y_max = 2.0;
+  options.y_label = "watts over time";
+  const std::string plot = RenderPlot(set, options);
+  EXPECT_NE(plot.find("watts over time"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptySetStillRenders) {
+  SeriesSet set;
+  PlotOptions options;
+  options.y_max = 1.0;
+  const std::string plot = RenderPlot(set, options);
+  EXPECT_GT(CountLines(plot), 3);
+}
+
+}  // namespace
+}  // namespace eas

@@ -1,0 +1,119 @@
+#include "src/base/linear_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+
+namespace eas {
+namespace {
+
+TEST(LinearSolverTest, SolvesIdentity) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 1.0;
+  auto x = SolveLinearSystem(a, {3.0, 4.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 4.0, 1e-12);
+}
+
+TEST(LinearSolverTest, SolvesKnownSystem) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = -1.0;
+  auto x = SolveLinearSystem(a, {5.0, 1.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-12);
+}
+
+TEST(LinearSolverTest, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  auto x = SolveLinearSystem(a, {2.0, 3.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LinearSolverTest, DetectsSingularMatrix) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;  // rank 1
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}).has_value());
+}
+
+TEST(LinearSolverTest, RandomSystemsRoundTrip) {
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5;
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.Uniform(-10.0, 10.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        a.at(i, j) = rng.Uniform(-1.0, 1.0);
+      }
+      a.at(i, i) += 5.0;  // diagonally dominant => nonsingular
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        b[i] += a.at(i, j) * x_true[j];
+      }
+    }
+    auto x = SolveLinearSystem(a, b);
+    ASSERT_TRUE(x.has_value());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+    }
+  }
+}
+
+TEST(LeastSquaresTest, ExactSystemRecovered) {
+  Matrix a(3, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 0.0;
+  a.at(1, 0) = 0.0;
+  a.at(1, 1) = 1.0;
+  a.at(2, 0) = 1.0;
+  a.at(2, 1) = 1.0;
+  // b from x = (2, 3): {2, 3, 5}
+  auto x = LeastSquares(a, {2.0, 3.0, 5.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, OverdeterminedNoisyRecovery) {
+  Rng rng(77);
+  const std::size_t rows = 50;
+  const std::size_t cols = 4;
+  std::vector<double> truth{1.5, -2.0, 0.5, 3.0};
+  Matrix a(rows, cols);
+  std::vector<double> b(rows, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      a.at(r, c) = rng.Uniform(0.0, 10.0);
+      b[r] += a.at(r, c) * truth[c];
+    }
+    b[r] *= 1.0 + rng.Gaussian(0.0, 0.01);
+  }
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.has_value());
+  for (std::size_t c = 0; c < cols; ++c) {
+    EXPECT_NEAR((*x)[c], truth[c], 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace eas

@@ -1,0 +1,77 @@
+#include "src/base/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace eas {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, ClearResets) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(VectorStatsTest, MeanAndStddev) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_NEAR(Stddev(xs), 1.1180, 1e-3);
+  EXPECT_DOUBLE_EQ(Max(xs), 4.0);
+  EXPECT_DOUBLE_EQ(Min(xs), 1.0);
+}
+
+TEST(VectorStatsTest, EmptyVectors) {
+  std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(Mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(Stddev(xs), 0.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 0.0);
+}
+
+TEST(VectorStatsTest, PercentileInterpolates) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 25.0);
+}
+
+TEST(VectorStatsTest, PercentileUnsortedInput) {
+  std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10.0);
+}
+
+}  // namespace
+}  // namespace eas

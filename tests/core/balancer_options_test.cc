@@ -1,0 +1,99 @@
+// The EnergyLoadBalancer's option knobs: each margin must gate exactly the
+// condition it documents.
+
+#include <gtest/gtest.h>
+
+#include "src/core/energy_balancer.h"
+#include "tests/testing/fake_env.h"
+
+namespace eas {
+namespace {
+
+CpuTopology TwoCpus() { return CpuTopology(1, 2, 1); }
+
+// A canonical imbalance: cpu0 hot by both metrics, cpu1 cool.
+void BuildImbalance(FakeEnv& env) {
+  env.AddRunningTask(61.0, 0);
+  env.AddTask(61.0, 0);
+  env.AddRunningTask(38.0, 1);
+  env.AddTask(38.0, 1);
+  env.SetThermalPower(0, 55.0);
+  env.SetThermalPower(1, 36.0);
+}
+
+TEST(BalancerOptionsTest, DefaultOptionsMigrate) {
+  FakeEnv env(TwoCpus());
+  BuildImbalance(env);
+  EnergyLoadBalancer balancer;
+  EXPECT_EQ(balancer.Balance(1, env).energy_migrations, 1);
+}
+
+TEST(BalancerOptionsTest, HugeThermalMarginBlocks) {
+  FakeEnv env(TwoCpus());
+  BuildImbalance(env);
+  EnergyLoadBalancer::Options options;
+  options.thermal_ratio_margin = 10.0;  // unreachable
+  EnergyLoadBalancer balancer(options);
+  EXPECT_EQ(balancer.Balance(1, env).energy_migrations, 0);
+}
+
+TEST(BalancerOptionsTest, HugeRunqueueMarginBlocks) {
+  FakeEnv env(TwoCpus());
+  BuildImbalance(env);
+  EnergyLoadBalancer::Options options;
+  options.rq_ratio_margin = 10.0;
+  EnergyLoadBalancer balancer(options);
+  EXPECT_EQ(balancer.Balance(1, env).energy_migrations, 0);
+}
+
+TEST(BalancerOptionsTest, MinTaskGainBlocksUselessPulls) {
+  FakeEnv env(TwoCpus());
+  BuildImbalance(env);
+  EnergyLoadBalancer::Options options;
+  options.min_task_gain = 2.0;  // the 61 W task is not 2x the local 38 W avg
+  EnergyLoadBalancer balancer(options);
+  EXPECT_EQ(balancer.Balance(1, env).energy_migrations, 0);
+}
+
+TEST(BalancerOptionsTest, GapShrinkRejectsFlippingMoves) {
+  // Local already almost as hot as remote: a pull would overshoot.
+  FakeEnv env(TwoCpus());
+  env.AddRunningTask(52.0, 0);
+  env.AddTask(61.0, 0);
+  env.AddRunningTask(50.0, 1);
+  env.AddTask(50.0, 1);
+  env.SetThermalPower(0, 53.0);
+  env.SetThermalPower(1, 48.0);
+  EnergyLoadBalancer::Options strict;
+  strict.min_gap_shrink = 0.2;  // demand an 80% gap reduction
+  EnergyLoadBalancer balancer(strict);
+  EXPECT_EQ(balancer.Balance(1, env).energy_migrations, 0);
+}
+
+TEST(BalancerOptionsTest, LoadImbalanceThresholdRespected) {
+  FakeEnv env(TwoCpus());
+  env.AddRunningTask(40.0, 0);
+  env.AddTask(40.0, 0);
+  env.AddTask(40.0, 0);  // 3 vs 0
+  env.SetThermalPower(0, 40.0);
+  env.SetThermalPower(1, 40.0);
+  EnergyLoadBalancer::Options lax;
+  lax.min_load_imbalance = 5;
+  EnergyLoadBalancer balancer(lax);
+  EXPECT_EQ(balancer.Balance(1, env).load_migrations, 0);
+  EnergyLoadBalancer strict;  // default threshold 2
+  EXPECT_GE(strict.Balance(1, env).load_migrations, 1);
+}
+
+TEST(BalancerOptionsTest, ResultTotalsAddUp) {
+  FakeEnv env(TwoCpus());
+  BuildImbalance(env);
+  EnergyLoadBalancer balancer;
+  const auto result = balancer.Balance(1, env);
+  EXPECT_EQ(result.total(),
+            result.energy_migrations + result.exchange_migrations + result.load_migrations);
+  EXPECT_EQ(static_cast<std::int64_t>(result.total()), env.migration_count());
+}
+
+}  // namespace
+}  // namespace eas

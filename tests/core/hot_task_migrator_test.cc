@@ -1,0 +1,172 @@
+#include "src/core/hot_task_migrator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/fake_env.h"
+
+namespace eas {
+namespace {
+
+// 8-way SMT-off paper machine.
+CpuTopology EightCpus() { return CpuTopology::PaperXSeries445(false); }
+
+TEST(HotTaskMigratorTest, TriggerRequiresSingleTask) {
+  FakeEnv env(EightCpus(), 40.0);
+  env.AddRunningTask(61.0, 0);
+  env.AddTask(61.0, 0);  // two tasks -> energy balancing territory
+  env.SetThermalPower(0, 39.8);
+  HotTaskMigrator migrator;
+  EXPECT_FALSE(migrator.ShouldMigrate(0, env));
+}
+
+TEST(HotTaskMigratorTest, TriggerRequiresNearLimit) {
+  FakeEnv env(EightCpus(), 40.0);
+  env.AddRunningTask(61.0, 0);
+  env.SetThermalPower(0, 30.0);
+  HotTaskMigrator migrator;
+  EXPECT_FALSE(migrator.ShouldMigrate(0, env));
+  env.SetThermalPower(0, 39.5);
+  EXPECT_TRUE(migrator.ShouldMigrate(0, env));
+}
+
+TEST(HotTaskMigratorTest, MigratesToIdleCoolCpu) {
+  FakeEnv env(EightCpus(), 40.0);
+  Task* hot = env.AddRunningTask(61.0, 0);
+  env.SetThermalPower(0, 39.5);
+  for (int cpu = 1; cpu < 8; ++cpu) {
+    env.SetThermalPower(cpu, 13.6);
+  }
+  HotTaskMigrator migrator;
+  const auto result = migrator.Check(0, env);
+  EXPECT_TRUE(result.migrated);
+  EXPECT_FALSE(result.exchanged);
+  EXPECT_NE(result.destination, 0);
+  EXPECT_EQ(hot->cpu(), result.destination);
+  EXPECT_EQ(hot->migrations(), 1);
+}
+
+TEST(HotTaskMigratorTest, PrefersSameNodeDestination) {
+  FakeEnv env(EightCpus(), 40.0);
+  env.AddRunningTask(61.0, 0);
+  env.SetThermalPower(0, 39.5);
+  // All of node 0 fairly cool, node 1 coolest overall - but node 0 first.
+  for (int cpu : {1, 2, 3}) {
+    env.SetThermalPower(cpu, 15.0);
+  }
+  for (int cpu : {4, 5, 6, 7}) {
+    env.SetThermalPower(cpu, 13.6);
+  }
+  HotTaskMigrator migrator;
+  const auto result = migrator.Check(0, env);
+  ASSERT_TRUE(result.migrated);
+  EXPECT_LT(result.destination, 4) << "should stay on node 0";
+}
+
+TEST(HotTaskMigratorTest, CrossesNodeOnlyWhenNodeIsHot) {
+  FakeEnv env(EightCpus(), 40.0);
+  env.AddRunningTask(61.0, 0);
+  env.SetThermalPower(0, 39.5);
+  for (int cpu : {1, 2, 3}) {
+    env.SetThermalPower(cpu, 38.0);  // node 0 all hot
+  }
+  for (int cpu : {4, 5, 6, 7}) {
+    env.SetThermalPower(cpu, 13.6);
+  }
+  HotTaskMigrator migrator;
+  const auto result = migrator.Check(0, env);
+  ASSERT_TRUE(result.migrated);
+  EXPECT_GE(result.destination, 4) << "node 0 offered no cool CPU";
+}
+
+TEST(HotTaskMigratorTest, StaysWhenAllCpusHot) {
+  FakeEnv env(EightCpus(), 40.0);
+  Task* hot = env.AddRunningTask(61.0, 0);
+  for (int cpu = 0; cpu < 8; ++cpu) {
+    env.SetThermalPower(cpu, 39.0);  // everything near the limit
+  }
+  HotTaskMigrator migrator;
+  const auto result = migrator.Check(0, env);
+  EXPECT_FALSE(result.migrated);
+  EXPECT_EQ(hot->cpu(), 0);
+}
+
+TEST(HotTaskMigratorTest, RequiresConsiderablyCoolerDestination) {
+  FakeEnv env(EightCpus(), 40.0);
+  env.AddRunningTask(61.0, 0);
+  env.SetThermalPower(0, 39.5);
+  for (int cpu = 1; cpu < 8; ++cpu) {
+    env.SetThermalPower(cpu, 33.0);  // cooler, but only by ~6 W < threshold
+  }
+  HotTaskMigrator::Options options;
+  options.min_thermal_diff_watts = 10.0;
+  HotTaskMigrator migrator(options);
+  EXPECT_FALSE(migrator.Check(0, env).migrated);
+}
+
+TEST(HotTaskMigratorTest, ExchangesWithCoolTask) {
+  FakeEnv env(EightCpus(), 40.0);
+  Task* hot = env.AddRunningTask(61.0, 0);
+  env.SetThermalPower(0, 39.5);
+  // Every other CPU runs one cool task; cpu5 is the coolest.
+  for (int cpu = 1; cpu < 8; ++cpu) {
+    env.AddRunningTask(38.0, cpu);
+    env.SetThermalPower(cpu, cpu == 5 ? 20.0 : 30.0);
+  }
+  HotTaskMigrator migrator;
+  const auto result = migrator.Check(0, env);
+  ASSERT_TRUE(result.migrated);
+  EXPECT_TRUE(result.exchanged);
+  EXPECT_EQ(result.destination, 5);
+  EXPECT_EQ(hot->cpu(), 5);
+  // The cool task moved to cpu0 in exchange: no load imbalance.
+  EXPECT_EQ(env.runqueue(0).nr_running(), 1u);
+  EXPECT_EQ(env.runqueue(5).nr_running(), 1u);
+}
+
+TEST(HotTaskMigratorTest, NoExchangeWithEquallyHotTask) {
+  FakeEnv env(EightCpus(), 40.0);
+  env.AddRunningTask(61.0, 0);
+  env.SetThermalPower(0, 39.5);
+  for (int cpu = 1; cpu < 8; ++cpu) {
+    env.AddRunningTask(60.0, cpu);  // all running equally hot tasks
+    env.SetThermalPower(cpu, 20.0);
+  }
+  HotTaskMigrator migrator;
+  EXPECT_FALSE(migrator.Check(0, env).migrated);
+}
+
+// --- SMT rules (Section 4.7) -------------------------------------------------
+
+TEST(HotTaskMigratorTest, SmtTriggerUsesSiblingSum) {
+  FakeEnv env(CpuTopology::PaperXSeries445(true), 20.0);  // 20 W per logical
+  env.AddRunningTask(61.0, 0);
+  HotTaskMigrator::Options options;
+  options.trigger_margin_watts = 1.0;
+  HotTaskMigrator migrator(options);
+  // Logical 0 at 33 W, sibling (8) idle at 6 W: sum 39 W < 40 - 1 W margin.
+  env.SetThermalPower(0, 33.0);
+  env.SetThermalPower(8, 6.0);
+  EXPECT_FALSE(migrator.ShouldMigrate(0, env));
+  env.SetThermalPower(8, 7.5);  // sum 40.5 W > 40 - margin
+  EXPECT_TRUE(migrator.ShouldMigrate(0, env));
+}
+
+TEST(HotTaskMigratorTest, NeverMigratesToSibling) {
+  FakeEnv env(CpuTopology::PaperXSeries445(true), 20.0);
+  Task* hot = env.AddRunningTask(61.0, 0);
+  env.SetThermalPower(0, 35.0);
+  env.SetThermalPower(8, 6.0);  // the sibling is by far the coolest number
+  for (int cpu = 1; cpu < 16; ++cpu) {
+    if (cpu != 8) {
+      env.SetThermalPower(cpu, 12.0);
+    }
+  }
+  HotTaskMigrator migrator;
+  const auto result = migrator.Check(0, env);
+  ASSERT_TRUE(result.migrated);
+  EXPECT_NE(result.destination, 8) << "sibling shares the die - migration there cannot help";
+  EXPECT_NE(hot->cpu(), 8);
+}
+
+}  // namespace
+}  // namespace eas

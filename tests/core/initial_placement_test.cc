@@ -1,0 +1,99 @@
+#include "src/core/initial_placement.h"
+
+#include <gtest/gtest.h>
+
+#include "src/task/program.h"
+#include "tests/testing/fake_env.h"
+
+namespace eas {
+namespace {
+
+std::unique_ptr<Program> ProgramWithBinary(BinaryId id) {
+  Phase phase;
+  phase.mean_duration = 100;
+  return std::make_unique<Program>("p" + std::to_string(id), id, std::vector<Phase>{phase}, 0);
+}
+
+TEST(InitialPlacementTest, LeastLoadedPicksEmptiestCpu) {
+  FakeEnv env(CpuTopology(1, 4, 1));
+  env.AddRunningTask(40.0, 0);
+  env.AddRunningTask(40.0, 1);
+  env.AddRunningTask(40.0, 3);
+  EXPECT_EQ(InitialPlacement::PlaceLeastLoaded(env), 2);
+}
+
+TEST(InitialPlacementTest, SeedsProfileFromRegistry) {
+  FakeEnv env(CpuTopology(1, 2, 1));
+  BinaryRegistry registry(40.0);
+  registry.RecordFirstTimeslice(77, 61.0);
+  auto program = ProgramWithBinary(77);
+  Task task(1, program.get(), 1);
+  InitialPlacement placement;
+  placement.Place(task, env, registry);
+  EXPECT_DOUBLE_EQ(task.profile().power(), 61.0);
+}
+
+TEST(InitialPlacementTest, UnknownBinaryGetsDefaultSeed) {
+  FakeEnv env(CpuTopology(1, 2, 1));
+  BinaryRegistry registry(40.0);
+  auto program = ProgramWithBinary(1234);
+  Task task(1, program.get(), 1);
+  InitialPlacement placement;
+  placement.Place(task, env, registry);
+  EXPECT_DOUBLE_EQ(task.profile().power(), 40.0);
+}
+
+TEST(InitialPlacementTest, OnlyLeastLoadedCpusEligible) {
+  FakeEnv env(CpuTopology(1, 4, 1));
+  // cpu0 empty and ice cold (most attractive energetically), others loaded.
+  env.AddRunningTask(61.0, 1);
+  env.AddRunningTask(61.0, 2);
+  env.AddRunningTask(61.0, 3);
+  BinaryRegistry registry(61.0);
+  auto program = ProgramWithBinary(5);
+  Task task(1, program.get(), 1);
+  InitialPlacement placement;
+  EXPECT_EQ(placement.Place(task, env, registry), 0);
+}
+
+TEST(InitialPlacementTest, HotTaskGoesToCoolQueue) {
+  FakeEnv env(CpuTopology(1, 2, 1));
+  // Equal load; cpu0 runs a hot task, cpu1 a cool one.
+  env.AddRunningTask(61.0, 0);
+  env.AddRunningTask(38.0, 1);
+  BinaryRegistry registry(40.0);
+  registry.RecordFirstTimeslice(9, 61.0);  // the new task is hot
+  auto program = ProgramWithBinary(9);
+  Task task(1, program.get(), 1);
+  InitialPlacement placement;
+  EXPECT_EQ(placement.Place(task, env, registry), 1);
+}
+
+TEST(InitialPlacementTest, CoolTaskGoesToHotQueue) {
+  FakeEnv env(CpuTopology(1, 2, 1));
+  env.AddRunningTask(61.0, 0);
+  env.AddRunningTask(38.0, 1);
+  BinaryRegistry registry(40.0);
+  registry.RecordFirstTimeslice(10, 38.0);
+  auto program = ProgramWithBinary(10);
+  Task task(1, program.get(), 1);
+  InitialPlacement placement;
+  EXPECT_EQ(placement.Place(task, env, registry), 0);
+}
+
+TEST(InitialPlacementTest, AccountsForMaxPowerDifferences) {
+  FakeEnv env(CpuTopology(1, 2, 1));
+  env.SetMaxPower(0, 66.0);  // good cooler
+  env.SetMaxPower(1, 44.0);  // poor cooler
+  BinaryRegistry registry(40.0);
+  registry.RecordFirstTimeslice(11, 61.0);
+  auto program = ProgramWithBinary(11);
+  Task task(1, program.get(), 1);
+  InitialPlacement placement;
+  // Both queues idle: the hot task must land on the better-cooled CPU
+  // (smaller resulting ratio distance to the average).
+  EXPECT_EQ(placement.Place(task, env, registry), 0);
+}
+
+}  // namespace
+}  // namespace eas

@@ -1,0 +1,67 @@
+#include "src/counters/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace eas {
+namespace {
+
+TEST(EnergyModelTest, DynamicEnergyIsLinear) {
+  const EnergyModel model = EnergyModel::Default();
+  EventVector a{};
+  a[EventIndex(EventType::kIntAluOps)] = 100.0;
+  EventVector b = a;
+  for (auto& v : b) {
+    v *= 2.0;
+  }
+  EXPECT_NEAR(model.DynamicEnergy(b), 2.0 * model.DynamicEnergy(a), 1e-12);
+}
+
+TEST(EnergyModelTest, ZeroEventsZeroDynamicEnergy) {
+  const EnergyModel model = EnergyModel::Default();
+  EXPECT_DOUBLE_EQ(model.DynamicEnergy(ZeroEvents()), 0.0);
+}
+
+TEST(EnergyModelTest, HaltPowerMatchesPaper) {
+  const EnergyModel model = EnergyModel::Default();
+  EXPECT_DOUBLE_EQ(model.halt_power(), 13.6);
+}
+
+TEST(EnergyModelTest, NominalTotalIncludesBase) {
+  const EnergyModel model = EnergyModel::Default();
+  EventRates rates{};
+  EXPECT_DOUBLE_EQ(model.NominalTotalPower(rates), model.active_base_power());
+}
+
+TEST(EnergyModelTest, RatesForTargetPowerHitsTarget) {
+  const EnergyModel model = EnergyModel::Default();
+  EventRates signature{};
+  signature[EventIndex(EventType::kUopsRetired)] = 1.0;
+  signature[EventIndex(EventType::kIntAluOps)] = 0.5;
+  for (double target : {38.0, 47.0, 61.0}) {
+    const EventRates rates = model.RatesForTargetPower(signature, target);
+    EXPECT_NEAR(model.NominalTotalPower(rates), target, 1e-9);
+  }
+}
+
+TEST(EnergyModelTest, RatesPreserveSignatureShape) {
+  const EnergyModel model = EnergyModel::Default();
+  EventRates signature{};
+  signature[EventIndex(EventType::kUopsRetired)] = 2.0;
+  signature[EventIndex(EventType::kIntAluOps)] = 1.0;
+  const EventRates rates = model.RatesForTargetPower(signature, 50.0);
+  EXPECT_NEAR(rates[EventIndex(EventType::kUopsRetired)],
+              2.0 * rates[EventIndex(EventType::kIntAluOps)], 1e-9);
+}
+
+TEST(EnergyModelTest, MemoryEventsCostMoreThanAluEvents) {
+  // The premise behind memrw being cool: per event more energy, but the
+  // sustainable rate is what differs. Weights alone must reflect the cost.
+  const EnergyModel model = EnergyModel::Default();
+  EXPECT_GT(model.weights()[EventIndex(EventType::kMemTransactions)],
+            model.weights()[EventIndex(EventType::kIntAluOps)]);
+  EXPECT_GT(model.weights()[EventIndex(EventType::kL2CacheMisses)],
+            model.weights()[EventIndex(EventType::kMemTransactions)]);
+}
+
+}  // namespace
+}  // namespace eas

@@ -1,0 +1,117 @@
+// Integration: hot task migration on the simulated paper machine
+// (Section 6.4, Figures 9 and 10, scaled down).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sim/experiment.h"
+#include "src/workloads/programs.h"
+#include "src/workloads/workload_builder.h"
+
+namespace eas {
+namespace {
+
+MachineConfig HotTaskConfig(bool energy_aware, double max_power_physical) {
+  MachineConfig config;
+  config.topology = CpuTopology::PaperXSeries445(true);  // SMT on, 16 logical
+  config.cooling = CoolingProfile::PaperXSeries445();
+  config.explicit_max_power_physical = max_power_physical;
+  config.throttling_enabled = true;
+  config.sched = energy_aware ? EnergySchedConfig::EnergyAware() : EnergySchedConfig::Baseline();
+  return config;
+}
+
+TEST(HotMigrationIntegration, SingleTaskHopsBetweenPackages) {
+  const ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = 120'000;  // 2 minutes
+  options.sample_interval_ticks = 200;
+  options.record_task_cpu = true;
+  Experiment experiment(HotTaskConfig(true, 40.0), options);
+  const RunResult result = experiment.Run(HotTaskWorkload(library, 1));
+
+  // The task must visit several physical packages (Figure 9's round-robin).
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  const Series& trace = result.task_cpu.at(0);
+  std::set<std::size_t> packages;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const int cpu = static_cast<int>(trace.value_at(i));
+    if (cpu >= 0) {
+      packages.insert(topo.PhysicalOf(cpu));
+    }
+  }
+  EXPECT_GE(packages.size(), 3u) << "expected round-robin over packages";
+  EXPECT_GE(result.migrations, 3);
+}
+
+TEST(HotMigrationIntegration, NeverMigratesToSibling) {
+  const ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = 120'000;
+  options.sample_interval_ticks = 100;
+  options.record_task_cpu = true;
+  Experiment experiment(HotTaskConfig(true, 40.0), options);
+  const RunResult result = experiment.Run(HotTaskWorkload(library, 1));
+
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  const Series& trace = result.task_cpu.at(0);
+  int last_cpu = -1;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const int cpu = static_cast<int>(trace.value_at(i));
+    if (cpu >= 0 && last_cpu >= 0 && cpu != last_cpu) {
+      EXPECT_FALSE(topo.AreSiblings(cpu, last_cpu))
+          << "migrated " << last_cpu << " -> " << cpu << " (siblings share the die)";
+    }
+    if (cpu >= 0) {
+      last_cpu = cpu;
+    }
+  }
+}
+
+TEST(HotMigrationIntegration, AvoidsThrottlingEntirely) {
+  const ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = 120'000;
+  Experiment experiment(HotTaskConfig(true, 40.0), options);
+  const RunResult result = experiment.Run(HotTaskWorkload(library, 1));
+  // With idle CPUs always available the hot task never throttles
+  // ("we can completely get rid of throttling").
+  EXPECT_LT(result.AverageThrottledFraction(), 0.01);
+}
+
+TEST(HotMigrationIntegration, ThroughputGainAt40WLimit) {
+  const ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = 150'000;
+  Experiment base_experiment(HotTaskConfig(false, 40.0), options);
+  const RunResult baseline = base_experiment.Run(HotTaskWorkload(library, 1));
+  Experiment eas_experiment(HotTaskConfig(true, 40.0), options);
+  const RunResult eas = eas_experiment.Run(HotTaskWorkload(library, 1));
+
+  // Paper: +76% at the 40 W limit. Accept a broad band around it.
+  const double increase = ThroughputIncrease(baseline, eas);
+  EXPECT_GT(increase, 0.35);
+  EXPECT_LT(increase, 1.3);
+}
+
+TEST(HotMigrationIntegration, GainShrinksWithMoreTasks) {
+  const ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = 120'000;
+
+  auto run = [&](bool energy_aware, int n_tasks) {
+    Experiment experiment(HotTaskConfig(energy_aware, 40.0), options);
+    return experiment.Run(HotTaskWorkload(library, n_tasks));
+  };
+
+  const double increase_2 = ThroughputIncrease(run(false, 2), run(true, 2));
+  const double increase_8 = ThroughputIncrease(run(false, 8), run(true, 8));
+  // Figure 10: the benefit decays as CPUs stop cooling down; with 8 tasks all
+  // packages stay hot and the gain (mostly) disappears.
+  EXPECT_GT(increase_2, increase_8);
+  EXPECT_LT(increase_8, 0.15);
+}
+
+}  // namespace
+}  // namespace eas

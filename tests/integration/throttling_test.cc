@@ -1,0 +1,81 @@
+// Integration: temperature control via throttling (Section 6.2, Table 3,
+// scaled down). Per-CPU thermal limits come from each package's cooling
+// parameters at the artificial 38 C limit.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/experiment.h"
+#include "src/workloads/programs.h"
+#include "src/workloads/workload_builder.h"
+
+namespace eas {
+namespace {
+
+MachineConfig ThrottleConfig(bool energy_aware) {
+  MachineConfig config;
+  config.topology = CpuTopology::PaperXSeries445(true);
+  config.cooling = CoolingProfile::PaperXSeries445();
+  config.temp_limit = 38.0;  // per-CPU max power from cooling calibration
+  config.throttling_enabled = true;
+  config.sched = energy_aware ? EnergySchedConfig::EnergyAware() : EnergySchedConfig::Baseline();
+  return config;
+}
+
+RunResult RunThrottled(bool energy_aware, Tick duration) {
+  const ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = duration;
+  Experiment experiment(ThrottleConfig(energy_aware), options);
+  return experiment.Run(MixedWorkload(library, 6));  // 36 tasks on 16 logical
+}
+
+TEST(ThrottlingIntegration, BaselineThrottlesPoorlycooledCpus) {
+  const RunResult baseline = RunThrottled(false, 120'000);
+  // Logical 0/8 and 3/11 sit on the poorly cooled packages: they must
+  // accumulate significant throttle time under a mixed load.
+  const double poor = baseline.throttled_fraction[0] + baseline.throttled_fraction[8] +
+                      baseline.throttled_fraction[3] + baseline.throttled_fraction[11];
+  EXPECT_GT(poor / 4.0, 0.05);
+  // The well-cooled packages must (almost) never throttle.
+  EXPECT_LT(baseline.throttled_fraction[1], 0.02);
+  EXPECT_LT(baseline.throttled_fraction[2], 0.02);
+}
+
+TEST(ThrottlingIntegration, EnergyAwareSchedulingReducesThrottling) {
+  const RunResult baseline = RunThrottled(false, 120'000);
+  const RunResult eas = RunThrottled(true, 120'000);
+  EXPECT_LT(eas.AverageThrottledFraction(), baseline.AverageThrottledFraction())
+      << "baseline " << baseline.AverageThrottledFraction() << ", eas "
+      << eas.AverageThrottledFraction();
+}
+
+TEST(ThrottlingIntegration, EnergyAwareSchedulingImprovesThroughput) {
+  const RunResult baseline = RunThrottled(false, 150'000);
+  const RunResult eas = RunThrottled(true, 150'000);
+  const double increase = ThroughputIncrease(baseline, eas);
+  // Paper: +4.7%. Accept anything clearly positive but sane.
+  EXPECT_GT(increase, 0.0);
+  EXPECT_LT(increase, 0.5);
+}
+
+TEST(ThrottlingIntegration, ShortTaskWorkloadAlsoGains) {
+  // Section 6.2's second experiment: tasks of <1 s, where initial placement
+  // dominates.
+  const ProgramLibrary library(EnergyModel::Default());
+  std::vector<const Program*> spawn;
+  for (int i = 0; i < 18; ++i) {
+    spawn.push_back(i % 2 == 0 ? &library.short_hot() : &library.short_cool());
+  }
+  Experiment::Options options;
+  options.duration_ticks = 120'000;
+
+  Experiment base_experiment(ThrottleConfig(false), options);
+  const RunResult baseline = base_experiment.Run(spawn);
+  Experiment eas_experiment(ThrottleConfig(true), options);
+  const RunResult eas = eas_experiment.Run(spawn);
+
+  EXPECT_GT(ThroughputIncrease(baseline, eas), 0.0);
+}
+
+}  // namespace
+}  // namespace eas

@@ -1,0 +1,131 @@
+// Property suite: invariants of energy-aware scheduling across topologies
+// and workload mixes (parameterized gtest).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "src/sim/experiment.h"
+#include "src/workloads/programs.h"
+#include "src/workloads/workload_builder.h"
+
+namespace eas {
+namespace {
+
+struct TopologyCase {
+  std::size_t nodes;
+  std::size_t physical_per_node;
+  std::size_t smt;
+};
+
+// (topology, #memrw, #bitcnts)
+using BalanceParam = std::tuple<TopologyCase, int, int>;
+
+class BalancingProperty : public ::testing::TestWithParam<BalanceParam> {
+ protected:
+  MachineConfig MakeConfig(bool energy_aware) const {
+    const TopologyCase& topo = std::get<0>(GetParam());
+    MachineConfig config;
+    config.topology = CpuTopology(topo.nodes, topo.physical_per_node, topo.smt);
+    ThermalParams params;
+    params.resistance = 0.3;
+    params.capacitance = 40.0;
+    config.cooling = CoolingProfile::Uniform(config.topology.num_physical(), params);
+    config.explicit_max_power_physical = 60.0;
+    config.throttling_enabled = false;
+    config.sched =
+        energy_aware ? EnergySchedConfig::EnergyAware() : EnergySchedConfig::Baseline();
+    return config;
+  }
+
+  std::vector<const Program*> MakeWorkload(const ProgramLibrary& library) const {
+    return HomogeneityWorkload(library, std::get<1>(GetParam()), 0, std::get<2>(GetParam()));
+  }
+};
+
+TEST_P(BalancingProperty, SpreadNeverWorseThanBaseline) {
+  const ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = 60'000;
+  options.sample_interval_ticks = 1'000;
+
+  Experiment base_experiment(MakeConfig(false), options);
+  const RunResult baseline = base_experiment.Run(MakeWorkload(library));
+  Experiment eas_experiment(MakeConfig(true), options);
+  const RunResult eas = eas_experiment.Run(MakeWorkload(library));
+
+  const Tick measure_from = 45'000;
+  const std::size_t num_cpus = MakeConfig(true).topology.num_logical();
+  if (MakeWorkload(library).size() >= num_cpus) {
+    // Loaded machine: the energy balancing regime. Balancing must not widen
+    // the thermal power band (small slack: homogeneous mixes have tiny
+    // spreads on both sides).
+    EXPECT_LE(eas.MaxThermalSpreadAfter(measure_from),
+              baseline.MaxThermalSpreadAfter(measure_from) + 2.5);
+  } else {
+    // Underloaded machine: the hot task migration regime. Moving the hot
+    // task around trades instantaneous spread for peak heat: the hottest
+    // any *package* ever gets (only packages overheat) must not exceed the
+    // baseline's peak, where tasks sit still and saturate their die.
+    const CpuTopology topo = MakeConfig(true).topology;
+    auto peak_package = [&topo](const RunResult& result) {
+      double peak = 0.0;
+      const std::size_t samples = result.thermal_power.at(0).size();
+      for (std::size_t i = 0; i < samples; ++i) {
+        for (std::size_t phys = 0; phys < topo.num_physical(); ++phys) {
+          double sum = 0.0;
+          for (std::size_t t = 0; t < topo.smt_per_physical(); ++t) {
+            sum += result.thermal_power.at(static_cast<std::size_t>(topo.LogicalId(phys, t)))
+                       .value_at(i);
+          }
+          peak = std::max(peak, sum);
+        }
+      }
+      return peak;
+    };
+    EXPECT_LE(peak_package(eas), peak_package(baseline) + 2.5);
+  }
+}
+
+TEST_P(BalancingProperty, NoMigrationStorm) {
+  const ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = 60'000;
+  Experiment experiment(MakeConfig(true), options);
+  const RunResult result = experiment.Run(MakeWorkload(library));
+  // Bound: fewer than 1.5 migrations per task-second on average would
+  // already be excessive; the paper sees ~0.002. Allow a generous margin.
+  const double tasks = static_cast<double>(MakeWorkload(library).size());
+  EXPECT_LT(static_cast<double>(result.migrations), tasks * 60.0 * 1.5);
+}
+
+TEST_P(BalancingProperty, FairnessPreserved) {
+  const ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = 60'000;
+  Experiment experiment(MakeConfig(true), options);
+  experiment.Run(MakeWorkload(library));
+
+  // Every task of the same program class must get a comparable CPU share.
+  double min_work = 1e18;
+  double max_work = 0.0;
+  for (const auto& task : experiment.machine().tasks()) {
+    const double work =
+        task->work_done_ticks() + static_cast<double>(task->completions()) *
+                                      static_cast<double>(task->program().total_work_ticks());
+    min_work = std::min(min_work, work);
+    max_work = std::max(max_work, work);
+  }
+  EXPECT_GT(min_work, 0.25 * max_work) << "some task starved";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologiesAndMixes, BalancingProperty,
+    ::testing::Combine(::testing::Values(TopologyCase{1, 2, 1}, TopologyCase{1, 4, 1},
+                                         TopologyCase{2, 2, 1}, TopologyCase{2, 4, 1},
+                                         TopologyCase{1, 2, 2}, TopologyCase{2, 4, 2}),
+                       ::testing::Values(2, 5), ::testing::Values(2, 5)));
+
+}  // namespace
+}  // namespace eas

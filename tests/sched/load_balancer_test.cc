@@ -1,0 +1,121 @@
+#include "src/sched/load_balancer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/fake_env.h"
+
+namespace eas {
+namespace {
+
+TEST(LoadBalancerTest, PullsFromOverloadedCpu) {
+  FakeEnv env(CpuTopology(1, 2, 1));
+  env.AddRunningTask(40.0, 0);
+  env.AddTask(40.0, 0);
+  env.AddTask(40.0, 0);
+  env.AddTask(40.0, 0);  // cpu0: 4 tasks, cpu1: idle
+  LoadBalancer balancer;
+  const int pulled = balancer.Balance(1, env);
+  EXPECT_GE(pulled, 1);
+  EXPECT_LE(env.runqueue(0).nr_running() - env.runqueue(1).nr_running(), 2u);
+}
+
+TEST(LoadBalancerTest, NoPullWhenBalanced) {
+  FakeEnv env(CpuTopology(1, 2, 1));
+  env.AddRunningTask(40.0, 0);
+  env.AddRunningTask(40.0, 1);
+  LoadBalancer balancer;
+  EXPECT_EQ(balancer.Balance(1, env), 0);
+  EXPECT_EQ(env.migration_count(), 0);
+}
+
+TEST(LoadBalancerTest, ToleratesImbalanceOfOne) {
+  FakeEnv env(CpuTopology(1, 2, 1));
+  env.AddRunningTask(40.0, 0);
+  env.AddTask(40.0, 0);  // 2 vs 1: tolerated
+  env.AddRunningTask(40.0, 1);
+  LoadBalancer balancer;
+  EXPECT_EQ(balancer.Balance(1, env), 0);
+}
+
+TEST(LoadBalancerTest, CannotPullRunningTask) {
+  FakeEnv env(CpuTopology(1, 2, 1));
+  env.AddRunningTask(40.0, 0);  // only the running task, nothing queued
+  LoadBalancer balancer;
+  EXPECT_EQ(balancer.Balance(1, env), 0);
+}
+
+TEST(LoadBalancerTest, PullerIsTheUnderloadedSide) {
+  // The balancer only pulls; running it on the busy CPU must do nothing.
+  FakeEnv env(CpuTopology(1, 2, 1));
+  env.AddRunningTask(40.0, 0);
+  env.AddTask(40.0, 0);
+  env.AddTask(40.0, 0);
+  LoadBalancer balancer;
+  EXPECT_EQ(balancer.Balance(0, env), 0);
+}
+
+TEST(LoadBalancerTest, ResolvesWithinNodeFirst) {
+  // Node 0: cpu0 overloaded, cpu1 idle. Node 1: cpu2, cpu3 idle.
+  FakeEnv env(CpuTopology(2, 2, 1));
+  env.AddRunningTask(40.0, 0);
+  for (int i = 0; i < 3; ++i) {
+    env.AddTask(40.0, 0);
+  }
+  LoadBalancer balancer;
+  // cpu1 (same node) pulls...
+  EXPECT_GE(balancer.Balance(1, env), 1);
+  Task* pulled_task = env.runqueue(1).queued().front();
+  // ...and the migration stayed within the node.
+  EXPECT_EQ(pulled_task->node_migrations(), 0);
+}
+
+TEST(LoadBalancerTest, CrossNodePullWhenNecessary) {
+  FakeEnv env(CpuTopology(2, 2, 1));
+  // Both CPUs of node 0 overloaded; node 1 idle.
+  for (int cpu = 0; cpu < 2; ++cpu) {
+    env.AddRunningTask(40.0, cpu);
+    env.AddTask(40.0, cpu);
+    env.AddTask(40.0, cpu);
+  }
+  LoadBalancer balancer;
+  EXPECT_GE(balancer.Balance(2, env), 1);
+}
+
+TEST(LoadBalancerTest, GroupLoadAverages) {
+  FakeEnv env(CpuTopology(1, 2, 1));
+  env.AddRunningTask(40.0, 0);
+  env.AddTask(40.0, 0);
+  CpuGroup group;
+  group.cpus = {0, 1};
+  EXPECT_DOUBLE_EQ(LoadBalancer::GroupLoad(group, env), 1.0);
+}
+
+TEST(LoadBalancerTest, PickTaskPreferences) {
+  FakeEnv env(CpuTopology(1, 2, 1));
+  env.AddTask(50.0, 0);
+  Task* hot = env.AddTask(61.0, 0);
+  Task* cool = env.AddTask(38.0, 0);
+  const Runqueue& rq = env.runqueue(0);
+  EXPECT_EQ(LoadBalancer::PickTask(rq, PullPreference::kHot), hot);
+  EXPECT_EQ(LoadBalancer::PickTask(rq, PullPreference::kCool), cool);
+  EXPECT_NE(LoadBalancer::PickTask(rq, PullPreference::kAny), nullptr);
+}
+
+TEST(LoadBalancerTest, ManyTasksConvergeToEvenQueues) {
+  FakeEnv env(CpuTopology(2, 4, 1));
+  for (int i = 0; i < 24; ++i) {
+    env.AddTask(40.0, 0);  // all 24 tasks start on cpu0
+  }
+  LoadBalancer balancer;
+  for (int round = 0; round < 10; ++round) {
+    for (int cpu = 0; cpu < 8; ++cpu) {
+      balancer.Balance(cpu, env);
+    }
+  }
+  for (int cpu = 0; cpu < 8; ++cpu) {
+    EXPECT_NEAR(static_cast<double>(env.runqueue(cpu).nr_running()), 3.0, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace eas

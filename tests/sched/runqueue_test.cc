@@ -1,0 +1,99 @@
+#include "src/sched/runqueue.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/fake_env.h"
+
+namespace eas {
+namespace {
+
+class RunqueueTest : public ::testing::Test {
+ protected:
+  RunqueueTest() : env_(CpuTopology(1, 2, 1)) {}
+  FakeEnv env_;
+};
+
+TEST_F(RunqueueTest, StartsIdle) {
+  Runqueue& rq = env_.runqueue(0);
+  EXPECT_TRUE(rq.Idle());
+  EXPECT_EQ(rq.nr_running(), 0u);
+  EXPECT_EQ(rq.PickNext(), nullptr);
+}
+
+TEST_F(RunqueueTest, EnqueueSetsCpuAndState) {
+  Task* task = env_.AddTask(40.0, 0);
+  EXPECT_EQ(task->cpu(), 0);
+  EXPECT_EQ(task->state(), TaskState::kRunnable);
+  EXPECT_EQ(env_.runqueue(0).nr_running(), 1u);
+}
+
+TEST_F(RunqueueTest, PickNextIsFifo) {
+  Task* a = env_.AddTask(40.0, 0);
+  Task* b = env_.AddTask(50.0, 0);
+  Runqueue& rq = env_.runqueue(0);
+  EXPECT_EQ(rq.PickNext(), a);
+  EXPECT_EQ(a->state(), TaskState::kRunning);
+  EXPECT_EQ(rq.current(), a);
+  EXPECT_EQ(rq.nr_running(), 2u);  // current + queued
+  EXPECT_EQ(rq.nr_queued(), 1u);
+  rq.TakeCurrent();
+  EXPECT_EQ(rq.PickNext(), b);
+}
+
+TEST_F(RunqueueTest, EnqueueFrontRunsNext) {
+  env_.AddTask(40.0, 0);
+  Task* woken = env_.AddTask(30.0, 1);
+  Runqueue& rq = env_.runqueue(0);
+  rq.Remove(woken);  // not on 0; returns false but harmless
+  env_.runqueue(1).Remove(woken);
+  rq.EnqueueFront(woken);
+  EXPECT_EQ(rq.PickNext(), woken);
+}
+
+TEST_F(RunqueueTest, RemoveFindsQueuedOnly) {
+  Task* a = env_.AddTask(40.0, 0);
+  Runqueue& rq = env_.runqueue(0);
+  rq.PickNext();
+  EXPECT_FALSE(rq.Remove(a));  // a is current, not queued
+  Task* b = env_.AddTask(50.0, 0);
+  EXPECT_TRUE(rq.Remove(b));
+  EXPECT_FALSE(rq.Remove(b));
+}
+
+TEST_F(RunqueueTest, AveragePowerOfEmptyQueueIsIdlePower) {
+  EXPECT_DOUBLE_EQ(env_.runqueue(0).AveragePower(13.6), 13.6);
+}
+
+TEST_F(RunqueueTest, AveragePowerIncludesCurrentAndQueued) {
+  env_.AddRunningTask(60.0, 0);
+  env_.AddTask(40.0, 0);
+  env_.AddTask(50.0, 0);
+  EXPECT_NEAR(env_.runqueue(0).AveragePower(13.6), 50.0, 1e-9);
+}
+
+TEST_F(RunqueueTest, HottestAndCoolestQueued) {
+  env_.AddRunningTask(99.0, 0);  // current must be ignored
+  Task* cool = env_.AddTask(38.0, 0);
+  Task* hot = env_.AddTask(61.0, 0);
+  env_.AddTask(47.0, 0);
+  Runqueue& rq = env_.runqueue(0);
+  EXPECT_EQ(rq.HottestQueued(), hot);
+  EXPECT_EQ(rq.CoolestQueued(), cool);
+}
+
+TEST_F(RunqueueTest, HottestOfEmptyQueueIsNull) {
+  env_.AddRunningTask(60.0, 0);
+  EXPECT_EQ(env_.runqueue(0).HottestQueued(), nullptr);
+  EXPECT_EQ(env_.runqueue(0).CoolestQueued(), nullptr);
+}
+
+TEST_F(RunqueueTest, TakeCurrentDetaches) {
+  Task* a = env_.AddRunningTask(40.0, 0);
+  Runqueue& rq = env_.runqueue(0);
+  EXPECT_EQ(rq.TakeCurrent(), a);
+  EXPECT_EQ(rq.current(), nullptr);
+  EXPECT_TRUE(rq.Idle());
+}
+
+}  // namespace
+}  // namespace eas

@@ -1,0 +1,101 @@
+#include "src/sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/programs.h"
+#include "src/workloads/workload_builder.h"
+
+namespace eas {
+namespace {
+
+MachineConfig QuickConfig() {
+  MachineConfig config;
+  config.topology = CpuTopology(1, 2, 1);
+  config.cooling = CoolingProfile::Uniform(2, ThermalParams{});
+  config.explicit_max_power_physical = 60.0;
+  config.estimator_weights = EnergyModel::Default().weights();
+  return config;
+}
+
+TEST(ExperimentTest, CollectsThermalSeriesPerCpu) {
+  ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = 2'000;
+  options.sample_interval_ticks = 100;
+  Experiment experiment(QuickConfig(), options);
+  const RunResult result = experiment.Run({&library.bitcnts()});
+  EXPECT_EQ(result.thermal_power.size(), 2u);
+  EXPECT_EQ(result.temperature.size(), 2u);
+  EXPECT_EQ(result.thermal_power.at(0).size(), 20u);
+  EXPECT_DOUBLE_EQ(result.duration_seconds, 2.0);
+}
+
+TEST(ExperimentTest, RecordsTaskCpuTraceWhenAsked) {
+  ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = 1'000;
+  options.sample_interval_ticks = 100;
+  options.record_task_cpu = true;
+  Experiment experiment(QuickConfig(), options);
+  const RunResult result = experiment.Run({&library.bitcnts(), &library.memrw()});
+  EXPECT_EQ(result.task_cpu.size(), 2u);
+  EXPECT_GT(result.task_cpu.at(0).size(), 0u);
+}
+
+TEST(ExperimentTest, ThroughputPositiveForBusyRun) {
+  ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = 5'000;
+  Experiment experiment(QuickConfig(), options);
+  const RunResult result = experiment.Run(MixedWorkload(library, 1));
+  EXPECT_GT(result.Throughput(), 0.0);
+  EXPECT_GT(result.work_done_ticks, 0.0);
+}
+
+TEST(ExperimentTest, ThroughputIncreaseComputation) {
+  RunResult base;
+  base.work_done_ticks = 100.0;
+  base.duration_seconds = 1.0;
+  RunResult test;
+  test.work_done_ticks = 105.0;
+  test.duration_seconds = 1.0;
+  EXPECT_NEAR(ThroughputIncrease(base, test), 0.05, 1e-12);
+}
+
+TEST(ExperimentTest, ThroughputIncreaseZeroBaseline) {
+  RunResult base;
+  RunResult test;
+  test.work_done_ticks = 10.0;
+  test.duration_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(ThroughputIncrease(base, test), 0.0);
+}
+
+TEST(ExperimentTest, ThrottledFractionsCollected) {
+  ProgramLibrary library(EnergyModel::Default());
+  MachineConfig config = QuickConfig();
+  config.throttling_enabled = true;
+  config.explicit_max_power_physical = 40.0;
+  config.sched = EnergySchedConfig::Baseline();
+  Experiment::Options options;
+  options.duration_ticks = 60'000;
+  Experiment experiment(config, options);
+  const RunResult result = experiment.Run({&library.bitcnts(), &library.bitcnts()});
+  ASSERT_EQ(result.throttled_fraction.size(), 2u);
+  EXPECT_GT(result.AverageThrottledFraction(), 0.05);
+}
+
+TEST(ExperimentTest, SpreadAfterSkipsTransient) {
+  RunResult result;
+  Series& a = result.thermal_power.Create("a");
+  Series& b = result.thermal_power.Create("b");
+  // Huge spread early, small late.
+  a.Add(0, 10.0);
+  b.Add(0, 60.0);
+  a.Add(1'000, 40.0);
+  b.Add(1'000, 42.0);
+  EXPECT_NEAR(result.MaxThermalSpreadAfter(500), 2.0, 1e-9);
+  EXPECT_NEAR(result.MaxThermalSpreadAfter(0), 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace eas

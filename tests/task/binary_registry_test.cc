@@ -1,0 +1,39 @@
+#include "src/task/binary_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace eas {
+namespace {
+
+TEST(BinaryRegistryTest, UnknownBinaryGetsDefault) {
+  BinaryRegistry registry(40.0);
+  EXPECT_FALSE(registry.Knows(123));
+  EXPECT_DOUBLE_EQ(registry.InitialPowerFor(123), 40.0);
+}
+
+TEST(BinaryRegistryTest, RecordedBinaryReturnsRecordedPower) {
+  BinaryRegistry registry(40.0);
+  registry.RecordFirstTimeslice(123, 61.0);
+  EXPECT_TRUE(registry.Knows(123));
+  EXPECT_DOUBLE_EQ(registry.InitialPowerFor(123), 61.0);
+}
+
+TEST(BinaryRegistryTest, LaterRecordingRefreshes) {
+  BinaryRegistry registry;
+  registry.RecordFirstTimeslice(7, 50.0);
+  registry.RecordFirstTimeslice(7, 55.0);
+  EXPECT_DOUBLE_EQ(registry.InitialPowerFor(7), 55.0);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(BinaryRegistryTest, DistinctBinariesIndependent) {
+  BinaryRegistry registry;
+  registry.RecordFirstTimeslice(1, 61.0);
+  registry.RecordFirstTimeslice(2, 38.0);
+  EXPECT_DOUBLE_EQ(registry.InitialPowerFor(1), 61.0);
+  EXPECT_DOUBLE_EQ(registry.InitialPowerFor(2), 38.0);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+}  // namespace
+}  // namespace eas

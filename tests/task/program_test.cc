@@ -1,0 +1,36 @@
+#include "src/task/program.h"
+
+#include <gtest/gtest.h>
+
+namespace eas {
+namespace {
+
+Phase SimplePhase(double uops_rate, Tick duration) {
+  Phase phase;
+  phase.rates[EventIndex(EventType::kUopsRetired)] = uops_rate;
+  phase.mean_duration = duration;
+  return phase;
+}
+
+TEST(ProgramTest, StoresMetadata) {
+  Program program("test", 42, {SimplePhase(100.0, 1000)}, 5000);
+  EXPECT_EQ(program.name(), "test");
+  EXPECT_EQ(program.binary_id(), 42u);
+  EXPECT_EQ(program.num_phases(), 1u);
+  EXPECT_EQ(program.total_work_ticks(), 5000);
+}
+
+TEST(ProgramTest, MultiplePhasesAccessible) {
+  Program program("multi", 1, {SimplePhase(100.0, 10), SimplePhase(200.0, 20)}, 0);
+  EXPECT_EQ(program.num_phases(), 2u);
+  EXPECT_DOUBLE_EQ(program.phase(1).rates[EventIndex(EventType::kUopsRetired)], 200.0);
+  EXPECT_EQ(program.phase(1).mean_duration, 20);
+}
+
+TEST(ProgramTest, ZeroWorkMeansInfinite) {
+  Program program("daemon", 1, {SimplePhase(1.0, 10)}, 0);
+  EXPECT_EQ(program.total_work_ticks(), 0);
+}
+
+}  // namespace
+}  // namespace eas

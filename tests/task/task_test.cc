@@ -1,0 +1,172 @@
+#include "src/task/task.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace eas {
+namespace {
+
+std::unique_ptr<Program> CpuBoundProgram(Tick work = 0) {
+  Phase phase;
+  phase.rates[EventIndex(EventType::kUopsRetired)] = 100.0;
+  phase.mean_duration = 50;
+  phase.duration_jitter = 0.0;
+  phase.rate_noise = 0.0;
+  return std::make_unique<Program>("cpu", 1, std::vector<Phase>{phase}, work);
+}
+
+std::unique_ptr<Program> BlockingProgram() {
+  Phase phase;
+  phase.rates[EventIndex(EventType::kUopsRetired)] = 100.0;
+  phase.mean_duration = 10;
+  phase.duration_jitter = 0.0;
+  phase.mean_sleep_after = 20;
+  return std::make_unique<Program>("blocking", 2, std::vector<Phase>{phase}, 0);
+}
+
+std::unique_ptr<Program> TwoPhaseProgram() {
+  Phase hot;
+  hot.rates[EventIndex(EventType::kIntAluOps)] = 500.0;
+  hot.mean_duration = 5;
+  hot.duration_jitter = 0.0;
+  Phase cool;
+  cool.rates[EventIndex(EventType::kIntAluOps)] = 50.0;
+  cool.mean_duration = 5;
+  cool.duration_jitter = 0.0;
+  return std::make_unique<Program>("phased", 3, std::vector<Phase>{hot, cool}, 0);
+}
+
+TEST(TaskTest, ExecuteTickEmitsPhaseRates) {
+  auto program = CpuBoundProgram();
+  Task task(1, program.get(), 42);
+  const EventVector events = task.ExecuteTick(1.0);
+  EXPECT_DOUBLE_EQ(events[EventIndex(EventType::kUopsRetired)], 100.0);
+  EXPECT_DOUBLE_EQ(events[EventIndex(EventType::kFpuOps)], 0.0);
+}
+
+TEST(TaskTest, SpeedFactorScalesEventsAndWork) {
+  auto program = CpuBoundProgram();
+  Task task(1, program.get(), 42);
+  const EventVector events = task.ExecuteTick(0.5);
+  EXPECT_DOUBLE_EQ(events[EventIndex(EventType::kUopsRetired)], 50.0);
+  EXPECT_DOUBLE_EQ(task.work_done_ticks(), 0.5);
+}
+
+TEST(TaskTest, PhaseRotation) {
+  auto program = TwoPhaseProgram();
+  Task task(1, program.get(), 42);
+  EXPECT_EQ(task.phase_index(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    task.ExecuteTick(1.0);
+  }
+  EXPECT_EQ(task.phase_index(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    task.ExecuteTick(1.0);
+  }
+  EXPECT_EQ(task.phase_index(), 0u);  // loops
+}
+
+TEST(TaskTest, BlockingPhaseRequestsSleep) {
+  auto program = BlockingProgram();
+  Task task(1, program.get(), 42);
+  Tick sleep = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(task.TakePendingSleep(), 0);
+    task.ExecuteTick(1.0);
+  }
+  sleep = task.TakePendingSleep();
+  EXPECT_GT(sleep, 0);
+  // Taking it again returns 0 (consumed).
+  EXPECT_EQ(task.TakePendingSleep(), 0);
+}
+
+TEST(TaskTest, WorkCompletion) {
+  auto program = CpuBoundProgram(10);
+  Task task(1, program.get(), 42);
+  for (int i = 0; i < 9; ++i) {
+    task.ExecuteTick(1.0);
+    EXPECT_FALSE(task.WorkComplete());
+  }
+  task.ExecuteTick(1.0);
+  EXPECT_TRUE(task.WorkComplete());
+}
+
+TEST(TaskTest, InfiniteProgramNeverCompletes) {
+  auto program = CpuBoundProgram(0);
+  Task task(1, program.get(), 42);
+  for (int i = 0; i < 1000; ++i) {
+    task.ExecuteTick(1.0);
+  }
+  EXPECT_FALSE(task.WorkComplete());
+}
+
+TEST(TaskTest, RestartCountsCompletion) {
+  auto program = CpuBoundProgram(5);
+  Task task(1, program.get(), 42);
+  for (int i = 0; i < 5; ++i) {
+    task.ExecuteTick(1.0);
+  }
+  EXPECT_TRUE(task.WorkComplete());
+  task.RestartProgram();
+  EXPECT_EQ(task.completions(), 1);
+  EXPECT_FALSE(task.WorkComplete());
+  EXPECT_DOUBLE_EQ(task.work_done_ticks(), 0.0);
+}
+
+TEST(TaskTest, AccountingPeriodLifecycle) {
+  auto program = CpuBoundProgram();
+  Task task(1, program.get(), 42);
+  task.BeginAccountingPeriod();
+  task.AccumulateEnergy(3.0);
+  task.AccountActiveTick();
+  task.AccountActiveTick();
+  EXPECT_DOUBLE_EQ(task.period_energy(), 3.0);
+  EXPECT_EQ(task.period_ticks(), 2);
+  EXPECT_TRUE(task.first_period_pending());
+  const double committed = task.CommitAccountingPeriod();
+  EXPECT_DOUBLE_EQ(committed, 3.0);
+  EXPECT_FALSE(task.first_period_pending());
+  EXPECT_EQ(task.period_ticks(), 0);
+  // 3 J over 2 ms = 1500 W fed to the profile (first sample initializes).
+  EXPECT_NEAR(task.profile().power(), 1500.0, 1e-6);
+}
+
+TEST(TaskTest, EmptyPeriodCommitIsNoop) {
+  auto program = CpuBoundProgram();
+  Task task(1, program.get(), 42);
+  task.profile().Seed(40.0);
+  EXPECT_DOUBLE_EQ(task.CommitAccountingPeriod(), 0.0);
+  EXPECT_DOUBLE_EQ(task.profile().power(), 40.0);
+  EXPECT_TRUE(task.first_period_pending());
+}
+
+TEST(TaskTest, MigrationBookkeeping) {
+  auto program = CpuBoundProgram();
+  Task task(1, program.get(), 42);
+  task.NoteMigration(/*crossed_node=*/false, /*warmup_ticks=*/3);
+  EXPECT_EQ(task.migrations(), 1);
+  EXPECT_EQ(task.node_migrations(), 0);
+  EXPECT_EQ(task.warmup_ticks_left(), 3);
+  task.NoteMigration(/*crossed_node=*/true, /*warmup_ticks=*/12);
+  EXPECT_EQ(task.migrations(), 2);
+  EXPECT_EQ(task.node_migrations(), 1);
+  // Warmup decays with execution.
+  task.ExecuteTick(1.0);
+  EXPECT_EQ(task.warmup_ticks_left(), 11);
+}
+
+TEST(TaskTest, TotalEnergyAccumulates) {
+  auto program = CpuBoundProgram();
+  Task task(1, program.get(), 42);
+  task.BeginAccountingPeriod();
+  task.AccumulateEnergy(1.0);
+  task.AccountActiveTick();
+  task.CommitAccountingPeriod();
+  task.AccumulateEnergy(2.0);
+  task.AccountActiveTick();
+  EXPECT_DOUBLE_EQ(task.total_energy(), 3.0);
+}
+
+}  // namespace
+}  // namespace eas

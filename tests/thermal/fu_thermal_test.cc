@@ -1,0 +1,120 @@
+#include "src/thermal/fu_thermal.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/fu_pairing.h"
+
+namespace eas {
+namespace {
+
+FuPowerVector IntegerHeavy(double watts) {
+  FuPowerVector p{};
+  p[static_cast<std::size_t>(FunctionalUnit::kIntegerCluster)] = watts;
+  return p;
+}
+
+FuPowerVector FpHeavy(double watts) {
+  FuPowerVector p{};
+  p[static_cast<std::size_t>(FunctionalUnit::kFpCluster)] = watts;
+  return p;
+}
+
+TEST(FuThermalTest, SplitAssignsEventsToClusters) {
+  const EnergyModel model = EnergyModel::Default();
+  EventVector events{};
+  events[EventIndex(EventType::kIntAluOps)] = 1000.0;
+  events[EventIndex(EventType::kFpuOps)] = 200.0;
+  events[EventIndex(EventType::kMemTransactions)] = 50.0;
+  const FuPowerVector power = SplitDynamicPower(events, model.weights(), 1e-3);
+  EXPECT_GT(power[static_cast<std::size_t>(FunctionalUnit::kIntegerCluster)], 0.0);
+  EXPECT_GT(power[static_cast<std::size_t>(FunctionalUnit::kFpCluster)], 0.0);
+  EXPECT_GT(power[static_cast<std::size_t>(FunctionalUnit::kMemCluster)], 0.0);
+  // Total FU power equals total dynamic power.
+  double total = 0.0;
+  for (double p : power) {
+    total += p;
+  }
+  EXPECT_NEAR(total, model.DynamicEnergy(events) / 1e-3, 1e-9);
+}
+
+TEST(FuThermalTest, HotspotFormsAtLoadedCluster) {
+  FuThermalParams params;
+  FuThermalModel model(params);
+  for (int i = 0; i < 20'000; ++i) {
+    model.Step(IntegerHeavy(30.0), 18.0, 1e-3);
+  }
+  EXPECT_GT(model.FuTemperature(FunctionalUnit::kIntegerCluster),
+            model.FuTemperature(FunctionalUnit::kFpCluster) + 10.0);
+  EXPECT_DOUBLE_EQ(model.MaxFuTemperature(),
+                   model.FuTemperature(FunctionalUnit::kIntegerCluster));
+}
+
+TEST(FuThermalTest, FuHotspotsAreFasterThanPackage) {
+  FuThermalParams params;
+  FuThermalModel model(params);
+  // One second of integer load: the cluster has essentially settled above
+  // the spreader while the package barely warmed.
+  for (int i = 0; i < 1'000; ++i) {
+    model.Step(IntegerHeavy(30.0), 18.0, 1e-3);
+  }
+  const double cluster_rise = model.FuTemperature(FunctionalUnit::kIntegerCluster) -
+                              model.SpreaderTemperature();
+  const double package_rise = model.SpreaderTemperature() - params.package.ambient;
+  EXPECT_GT(cluster_rise, 20.0);  // ~R_fu * (30 + base share)
+  EXPECT_LT(package_rise, 5.0);   // tau_package = 12 s barely started
+}
+
+TEST(FuThermalTest, EqualTotalPowerDifferentHotspots) {
+  // The paper's Section 7 point: same wattage, different stress.
+  FuThermalParams params;
+  FuThermalModel int_model(params);
+  FuThermalModel mixed_model(params);
+  FuPowerVector mixed{};
+  for (auto& p : mixed) {
+    p = 10.0;  // 30 W spread over three clusters
+  }
+  for (int i = 0; i < 20'000; ++i) {
+    int_model.Step(IntegerHeavy(30.0), 18.0, 1e-3);
+    mixed_model.Step(mixed, 18.0, 1e-3);
+  }
+  EXPECT_NEAR(int_model.SpreaderTemperature(), mixed_model.SpreaderTemperature(), 0.5);
+  EXPECT_GT(int_model.MaxFuTemperature(), mixed_model.MaxFuTemperature() + 8.0);
+}
+
+TEST(FuPairingTest, HotspotScorePeaksAtSharedCluster) {
+  const double same = HotspotScore(IntegerHeavy(20.0), IntegerHeavy(20.0), 0.65);
+  const double mixed = HotspotScore(IntegerHeavy(20.0), FpHeavy(20.0), 0.65);
+  EXPECT_NEAR(same, 40.0 * 0.65, 1e-9);
+  EXPECT_NEAR(mixed, 20.0 * 0.65, 1e-9);
+}
+
+TEST(FuPairingTest, PairsIntegerWithFp) {
+  std::vector<FuPowerVector> profiles = {IntegerHeavy(20.0), IntegerHeavy(20.0), FpHeavy(20.0),
+                                         FpHeavy(20.0)};
+  const auto pairs = PairForMinimumHotspot(profiles, 0.65);
+  ASSERT_EQ(pairs.size(), 2u);
+  for (const auto& [a, b] : pairs) {
+    const bool a_int = profiles[a][0] > 0.0;
+    const bool b_int = profiles[b][0] > 0.0;
+    EXPECT_NE(a_int, b_int) << "integer tasks must pair with FP tasks";
+  }
+}
+
+TEST(FuPairingTest, BeatsInOrderPairing) {
+  std::vector<FuPowerVector> profiles = {IntegerHeavy(25.0), IntegerHeavy(25.0), FpHeavy(25.0),
+                                         FpHeavy(25.0)};
+  const double naive = PeakClusterPower(profiles, PairInOrder(profiles.size()), 0.65);
+  const double aware = PeakClusterPower(profiles, PairForMinimumHotspot(profiles, 0.65), 0.65);
+  EXPECT_LT(aware, naive * 0.6);
+}
+
+TEST(FuPairingTest, HandlesHomogeneousSet) {
+  std::vector<FuPowerVector> profiles(4, IntegerHeavy(20.0));
+  const auto pairs = PairForMinimumHotspot(profiles, 0.65);
+  EXPECT_EQ(pairs.size(), 2u);
+  EXPECT_NEAR(PeakClusterPower(profiles, pairs, 0.65),
+              PeakClusterPower(profiles, PairInOrder(4), 0.65), 1e-9);
+}
+
+}  // namespace
+}  // namespace eas

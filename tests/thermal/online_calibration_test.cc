@@ -1,0 +1,104 @@
+#include "src/thermal/online_calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/thermal/thermal_sensor.h"
+
+namespace eas {
+namespace {
+
+// Simulates a CPU whose power alternates between levels while the calibrator
+// watches the quantized diode.
+ThermalParams RunCalibration(const ThermalParams& truth, double sensor_resolution,
+                             double window_seconds, int seconds) {
+  RcThermalModel model(truth);
+  const ThermalSensor sensor(sensor_resolution, 5);
+  OnlineThermalCalibrator calibrator(truth.ambient, window_seconds);
+  Rng rng(99);
+
+  const double dt = 0.1;  // sensor polled every 100 ms
+  double power = 20.0;
+  calibrator.AddSample(power, sensor.Read(model.temperature()), dt);
+  for (int step = 0; step < seconds * 10; ++step) {
+    // Excite the model: switch power level every ~20 s.
+    if (step % 200 == 0) {
+      power = (step / 200) % 2 == 0 ? 58.0 : 20.0;
+    }
+    model.Step(power, dt);
+    calibrator.AddSample(power, sensor.Read(model.temperature()), dt);
+  }
+  auto fit = calibrator.Fit();
+  EXPECT_TRUE(fit.has_value());
+  return fit.value_or(ThermalParams{});
+}
+
+TEST(OnlineCalibrationTest, RecoversParamsWithPerfectSensor) {
+  ThermalParams truth;
+  truth.resistance = 0.3;
+  truth.capacitance = 40.0;
+  const ThermalParams fit = RunCalibration(truth, 1e-6, 5.0, 300);
+  EXPECT_NEAR(fit.resistance, truth.resistance, 0.02);
+  EXPECT_NEAR(fit.capacitance, truth.capacitance, 4.0);
+}
+
+TEST(OnlineCalibrationTest, ToleratesDiodeQuantization) {
+  // 1 K resolution, as in real diodes: long windows average it out.
+  ThermalParams truth;
+  truth.resistance = 0.3;
+  truth.capacitance = 40.0;
+  const ThermalParams fit = RunCalibration(truth, 1.0, 10.0, 600);
+  EXPECT_NEAR(fit.resistance, truth.resistance, 0.06);
+  EXPECT_NEAR(fit.capacitance, truth.capacitance, 12.0);
+}
+
+TEST(OnlineCalibrationTest, TracksCoolingChanges) {
+  // The paper's motivation: a fan turns on -> R halves. Recalibrating on
+  // fresh data must follow.
+  ThermalParams before;
+  before.resistance = 0.4;
+  before.capacitance = 30.0;
+  ThermalParams after = before;
+  after.resistance = 0.2;
+  const ThermalParams fit_before = RunCalibration(before, 1e-6, 5.0, 300);
+  const ThermalParams fit_after = RunCalibration(after, 1e-6, 5.0, 300);
+  EXPECT_GT(fit_before.resistance, fit_after.resistance * 1.5);
+}
+
+TEST(OnlineCalibrationTest, RefusesWithTooFewWindows) {
+  OnlineThermalCalibrator calibrator(22.0, 5.0);
+  calibrator.AddSample(40.0, 25.0, 0.1);
+  calibrator.AddSample(40.0, 25.5, 0.1);
+  EXPECT_FALSE(calibrator.Fit().has_value());
+}
+
+TEST(OnlineCalibrationTest, RefusesUnexcitedData) {
+  // Constant power & steady temperature: the regression cannot separate
+  // R from C (and the deltas are ~0). Must not return garbage.
+  ThermalParams truth;
+  RcThermalModel model(truth);
+  model.SetTemperature(truth.SteadyStateTemp(40.0));
+  OnlineThermalCalibrator calibrator(truth.ambient, 2.0);
+  calibrator.AddSample(40.0, model.temperature(), 0.1);
+  for (int i = 0; i < 1000; ++i) {
+    model.Step(40.0, 0.1);
+    calibrator.AddSample(40.0, model.temperature(), 0.1);
+  }
+  const auto fit = calibrator.Fit();
+  if (fit.has_value()) {
+    // If it fits at all, the steady-state ratio R must still be sane.
+    EXPECT_NEAR(fit->resistance, truth.resistance, 0.1);
+  }
+}
+
+TEST(OnlineCalibrationTest, WindowAggregation) {
+  OnlineThermalCalibrator calibrator(22.0, 1.0);
+  calibrator.AddSample(40.0, 25.0, 0.1);  // first sample only anchors
+  for (int i = 0; i < 25; ++i) {
+    calibrator.AddSample(40.0, 25.0, 0.1);
+  }
+  EXPECT_EQ(calibrator.windows(), 2u);  // 2.5 s of data, 1 s windows
+}
+
+}  // namespace
+}  // namespace eas

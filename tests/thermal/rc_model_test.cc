@@ -1,0 +1,100 @@
+#include "src/thermal/rc_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eas {
+namespace {
+
+ThermalParams DefaultParams() {
+  ThermalParams p;
+  p.resistance = 0.3;
+  p.capacitance = 40.0;
+  p.ambient = 22.0;
+  return p;
+}
+
+TEST(RcModelTest, StartsAtAmbient) {
+  RcThermalModel model(DefaultParams());
+  EXPECT_DOUBLE_EQ(model.temperature(), 22.0);
+}
+
+TEST(RcModelTest, SteadyStateTemperature) {
+  const ThermalParams p = DefaultParams();
+  RcThermalModel model(p);
+  // Run for many time constants at constant power.
+  for (int i = 0; i < 200'000; ++i) {
+    model.Step(60.0, 0.001);
+  }
+  EXPECT_NEAR(model.temperature(), p.SteadyStateTemp(60.0), 0.01);
+  EXPECT_NEAR(model.temperature(), 22.0 + 0.3 * 60.0, 0.01);
+}
+
+TEST(RcModelTest, TimeConstantStepResponse) {
+  const ThermalParams p = DefaultParams();
+  RcThermalModel model(p);
+  const double tau = p.TimeConstant();
+  const double dt = 0.001;
+  const int steps = static_cast<int>(tau / dt);
+  for (int i = 0; i < steps; ++i) {
+    model.Step(50.0, dt);
+  }
+  const double target = p.SteadyStateTemp(50.0);
+  const double expected = p.ambient + (target - p.ambient) * (1.0 - std::exp(-1.0));
+  EXPECT_NEAR(model.temperature(), expected, 0.05);
+}
+
+TEST(RcModelTest, CoolsBackToAmbient) {
+  RcThermalModel model(DefaultParams());
+  model.SetTemperature(60.0);
+  for (int i = 0; i < 500'000; ++i) {
+    model.Step(0.0, 0.001);
+  }
+  EXPECT_NEAR(model.temperature(), 22.0, 0.05);
+}
+
+TEST(RcModelTest, StepSizeIndependence) {
+  // The exact-exponential update must give the same trajectory for coarse
+  // and fine steps.
+  RcThermalModel fine(DefaultParams());
+  RcThermalModel coarse(DefaultParams());
+  for (int i = 0; i < 10'000; ++i) {
+    fine.Step(45.0, 0.001);
+  }
+  for (int i = 0; i < 10; ++i) {
+    coarse.Step(45.0, 1.0);
+  }
+  EXPECT_NEAR(fine.temperature(), coarse.temperature(), 1e-6);
+}
+
+TEST(ThermalParamsTest, MaxPowerForTempInvertsSteadyState) {
+  const ThermalParams p = DefaultParams();
+  const double max_power = p.MaxPowerForTemp(38.0);
+  EXPECT_NEAR(p.SteadyStateTemp(max_power), 38.0, 1e-12);
+  // With 16 K headroom and R = 0.3: ~53 W.
+  EXPECT_NEAR(max_power, 16.0 / 0.3, 1e-9);
+}
+
+TEST(ThermalParamsTest, PowerForTempIsInverse) {
+  const ThermalParams p = DefaultParams();
+  for (double power : {13.6, 40.0, 61.0}) {
+    EXPECT_NEAR(p.PowerForTemp(p.SteadyStateTemp(power)), power, 1e-9);
+  }
+}
+
+TEST(RcModelTest, HigherResistanceRunsHotter) {
+  ThermalParams good = DefaultParams();
+  ThermalParams poor = DefaultParams();
+  poor.resistance = 0.4;
+  RcThermalModel a(good);
+  RcThermalModel b(poor);
+  for (int i = 0; i < 100'000; ++i) {
+    a.Step(50.0, 0.001);
+    b.Step(50.0, 0.001);
+  }
+  EXPECT_GT(b.temperature(), a.temperature());
+}
+
+}  // namespace
+}  // namespace eas

@@ -1,0 +1,81 @@
+#include "src/topo/cpu_topology.h"
+
+#include <gtest/gtest.h>
+
+namespace eas {
+namespace {
+
+TEST(CpuTopologyTest, PaperMachineSmtOff) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(false);
+  EXPECT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.num_physical(), 8u);
+  EXPECT_EQ(topo.num_logical(), 8u);
+}
+
+TEST(CpuTopologyTest, PaperMachineSmtOn) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  EXPECT_EQ(topo.num_logical(), 16u);
+  EXPECT_EQ(topo.smt_per_physical(), 2u);
+}
+
+TEST(CpuTopologyTest, SiblingIdsDifferInMsb) {
+  // Paper Section 6.4: "CPU 0 is the sibling of CPU 8, CPU 1 of CPU 9, ..."
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  for (int cpu = 0; cpu < 8; ++cpu) {
+    const auto siblings = topo.SiblingsOf(cpu);
+    ASSERT_EQ(siblings.size(), 2u);
+    EXPECT_EQ(siblings[0], cpu);
+    EXPECT_EQ(siblings[1], cpu + 8);
+    EXPECT_TRUE(topo.AreSiblings(cpu, cpu + 8));
+  }
+}
+
+TEST(CpuTopologyTest, NodeAssignment) {
+  // CPUs 0-3 (+ siblings 8-11) on node 0; 4-7 (+ 12-15) on node 1.
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  for (int cpu : {0, 1, 2, 3, 8, 9, 10, 11}) {
+    EXPECT_EQ(topo.NodeOf(cpu), 0u) << "cpu " << cpu;
+  }
+  for (int cpu : {4, 5, 6, 7, 12, 13, 14, 15}) {
+    EXPECT_EQ(topo.NodeOf(cpu), 1u) << "cpu " << cpu;
+  }
+}
+
+TEST(CpuTopologyTest, LogicalIdRoundTrip) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  for (std::size_t phys = 0; phys < topo.num_physical(); ++phys) {
+    for (std::size_t t = 0; t < topo.smt_per_physical(); ++t) {
+      const int logical = topo.LogicalId(phys, t);
+      EXPECT_EQ(topo.PhysicalOf(logical), phys);
+      EXPECT_EQ(topo.ThreadOf(logical), t);
+    }
+  }
+}
+
+TEST(CpuTopologyTest, SameNodeSymmetric) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(false);
+  EXPECT_TRUE(topo.SameNode(0, 3));
+  EXPECT_TRUE(topo.SameNode(4, 7));
+  EXPECT_FALSE(topo.SameNode(3, 4));
+  EXPECT_FALSE(topo.SameNode(4, 3));
+}
+
+TEST(CpuTopologyTest, SingleCpuDegenerate) {
+  const CpuTopology topo(1, 1, 1);
+  EXPECT_EQ(topo.num_logical(), 1u);
+  EXPECT_EQ(topo.SiblingsOf(0).size(), 1u);
+  EXPECT_TRUE(topo.AreSiblings(0, 0));
+}
+
+TEST(CpuTopologyTest, SmtOffEveryCpuOwnSibling) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(false);
+  for (int cpu = 0; cpu < 8; ++cpu) {
+    EXPECT_EQ(topo.SiblingsOf(cpu).size(), 1u);
+    for (int other = 0; other < 8; ++other) {
+      EXPECT_EQ(topo.AreSiblings(cpu, other), cpu == other);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eas

@@ -1,0 +1,98 @@
+#include "src/topo/sched_domain.h"
+
+#include <gtest/gtest.h>
+
+namespace eas {
+namespace {
+
+TEST(SchedDomainTest, PaperMachineSmtOnHasThreeLevels) {
+  // Figure 1: physical level, node level, top level.
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(topo);
+  EXPECT_EQ(hierarchy.num_levels(), 3u);
+  const auto domains = hierarchy.DomainsFor(0);
+  ASSERT_EQ(domains.size(), 3u);
+  EXPECT_EQ(domains[0]->level, 0);
+  EXPECT_EQ(domains[1]->level, 1);
+  EXPECT_EQ(domains[2]->level, 2);
+}
+
+TEST(SchedDomainTest, SmtOffHasTwoLevels) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(false);
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(topo);
+  EXPECT_EQ(hierarchy.num_levels(), 2u);
+}
+
+TEST(SchedDomainTest, SmtDomainFlaggedNoEnergyBalance) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(topo);
+  const auto domains = hierarchy.DomainsFor(0);
+  EXPECT_NE(domains[0]->flags & kDomainNoEnergyBalance, 0u);
+  EXPECT_EQ(domains[1]->flags & kDomainNoEnergyBalance, 0u);
+}
+
+TEST(SchedDomainTest, SmtDomainGroupsAreSiblings) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(topo);
+  const SchedDomain* smt = hierarchy.DomainsFor(3)[0];
+  ASSERT_EQ(smt->groups.size(), 2u);
+  EXPECT_TRUE(smt->Contains(3));
+  EXPECT_TRUE(smt->Contains(11));
+  EXPECT_EQ(smt->cpus.size(), 2u);
+}
+
+TEST(SchedDomainTest, NodeDomainGroupsArePhysicalPackages) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(topo);
+  const SchedDomain* node = hierarchy.DomainsFor(0)[1];
+  EXPECT_EQ(node->groups.size(), 4u);  // four packages per node
+  EXPECT_EQ(node->cpus.size(), 8u);    // eight logical CPUs per node
+  // Group of CPU 0 must contain its sibling 8 and nothing else.
+  const CpuGroup* group = node->GroupOf(0);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->cpus.size(), 2u);
+  EXPECT_TRUE(group->Contains(8));
+}
+
+TEST(SchedDomainTest, TopDomainGroupsAreNodes) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(topo);
+  const SchedDomain* top = hierarchy.DomainsFor(0)[2];
+  EXPECT_EQ(top->groups.size(), 2u);
+  EXPECT_EQ(top->cpus.size(), 16u);
+  EXPECT_NE(top->flags & kDomainCrossesNode, 0u);
+  const CpuGroup* node0 = top->GroupOf(0);
+  ASSERT_NE(node0, nullptr);
+  EXPECT_EQ(node0->cpus.size(), 8u);
+  EXPECT_FALSE(node0->Contains(4));
+  EXPECT_TRUE(node0->Contains(11));
+}
+
+TEST(SchedDomainTest, DomainsForDistinctCpusDiffer) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(topo);
+  const auto for0 = hierarchy.DomainsFor(0);
+  const auto for4 = hierarchy.DomainsFor(4);
+  EXPECT_NE(for0[0], for4[0]);  // different packages
+  EXPECT_NE(for0[1], for4[1]);  // different nodes
+  EXPECT_EQ(for0[2], for4[2]);  // same top level
+}
+
+TEST(SchedDomainTest, GroupOfMissingCpuIsNull) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(topo);
+  const SchedDomain* smt0 = hierarchy.DomainsFor(0)[0];
+  EXPECT_EQ(smt0->GroupOf(5), nullptr);
+}
+
+TEST(SchedDomainTest, SingleNodeMachineHasOneLevel) {
+  const CpuTopology topo(1, 4, 1);
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(topo);
+  EXPECT_EQ(hierarchy.num_levels(), 1u);
+  const auto domains = hierarchy.DomainsFor(2);
+  ASSERT_EQ(domains.size(), 1u);
+  EXPECT_EQ(domains[0]->groups.size(), 4u);
+}
+
+}  // namespace
+}  // namespace eas

@@ -1,0 +1,141 @@
+#include "src/workloads/programs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/workload_builder.h"
+
+namespace eas {
+namespace {
+
+class ProgramLibraryTest : public ::testing::Test {
+ protected:
+  ProgramLibraryTest() : model_(EnergyModel::Default()), library_(model_) {}
+  EnergyModel model_;
+  ProgramLibrary library_;
+};
+
+TEST_F(ProgramLibraryTest, Table2PowersMatchPaper) {
+  // Table 2: bitcnts 61 W, memrw 38 W, aluadd 50 W, pushpop 47 W.
+  EXPECT_NEAR(ProgramLibrary::NominalPower(model_, library_.bitcnts()), 61.0, 0.01);
+  EXPECT_NEAR(ProgramLibrary::NominalPower(model_, library_.memrw()), 38.0, 0.01);
+  EXPECT_NEAR(ProgramLibrary::NominalPower(model_, library_.aluadd()), 50.0, 0.01);
+  EXPECT_NEAR(ProgramLibrary::NominalPower(model_, library_.pushpop()), 47.0, 0.01);
+}
+
+TEST_F(ProgramLibraryTest, OpensslSpansPaperRange) {
+  // openssl varies between 42 W and 57 W across its phases.
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const Phase& phase : library_.openssl().phases()) {
+    if (phase.mean_duration < 1000) {
+      continue;  // transition dips are not benchmark phases
+    }
+    const double power = model_.NominalTotalPower(phase.rates);
+    lo = std::min(lo, power);
+    hi = std::max(hi, power);
+  }
+  EXPECT_NEAR(lo, 42.0, 0.5);
+  EXPECT_NEAR(hi, 57.0, 0.5);
+}
+
+TEST_F(ProgramLibraryTest, Bzip2AveragesNear48) {
+  double weighted = 0.0;
+  double total_duration = 0.0;
+  for (const Phase& phase : library_.bzip2().phases()) {
+    weighted += model_.NominalTotalPower(phase.rates) * static_cast<double>(phase.mean_duration);
+    total_duration += static_cast<double>(phase.mean_duration);
+  }
+  EXPECT_NEAR(weighted / total_duration, 48.0, 1.5);
+}
+
+TEST_F(ProgramLibraryTest, InteractiveProgramsBlock) {
+  bool bash_blocks = false;
+  for (const Phase& phase : library_.bash().phases()) {
+    if (phase.mean_sleep_after > 0) {
+      bash_blocks = true;
+    }
+  }
+  EXPECT_TRUE(bash_blocks);
+  bool sshd_blocks = false;
+  for (const Phase& phase : library_.sshd().phases()) {
+    if (phase.mean_sleep_after > 0) {
+      sshd_blocks = true;
+    }
+  }
+  EXPECT_TRUE(sshd_blocks);
+}
+
+TEST_F(ProgramLibraryTest, BatchProgramsDoNotBlock) {
+  for (const Program* program : {&library_.bitcnts(), &library_.memrw(), &library_.aluadd(),
+                                 &library_.pushpop()}) {
+    for (const Phase& phase : program->phases()) {
+      EXPECT_EQ(phase.mean_sleep_after, 0) << program->name();
+    }
+  }
+}
+
+TEST_F(ProgramLibraryTest, DistinctBinaryIds) {
+  std::vector<const Program*> all = library_.Table2Programs();
+  for (const Program* p : library_.Table1Programs()) {
+    all.push_back(p);
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      if (all[i] != all[j]) {
+        EXPECT_NE(all[i]->binary_id(), all[j]->binary_id())
+            << all[i]->name() << " vs " << all[j]->name();
+      }
+    }
+  }
+}
+
+TEST_F(ProgramLibraryTest, ByNameLookup) {
+  EXPECT_EQ(library_.ByName("bitcnts"), &library_.bitcnts());
+  EXPECT_EQ(library_.ByName("nonexistent"), nullptr);
+}
+
+TEST_F(ProgramLibraryTest, ShortTasksHaveSmallWork) {
+  EXPECT_GT(library_.short_hot().total_work_ticks(), 0);
+  EXPECT_LT(library_.short_hot().total_work_ticks(), 1000);
+}
+
+TEST_F(ProgramLibraryTest, MixedWorkloadComposition) {
+  const auto spawn = MixedWorkload(library_, 3);
+  EXPECT_EQ(spawn.size(), 18u);
+  int bitcnts_count = 0;
+  for (const Program* p : spawn) {
+    if (p == &library_.bitcnts()) {
+      ++bitcnts_count;
+    }
+  }
+  EXPECT_EQ(bitcnts_count, 3);
+}
+
+TEST_F(ProgramLibraryTest, HomogeneityWorkloadCounts) {
+  const auto spawn = HomogeneityWorkload(library_, 8, 2, 8);
+  EXPECT_EQ(spawn.size(), 18u);
+  int counts[3] = {0, 0, 0};
+  for (const Program* p : spawn) {
+    if (p == &library_.memrw()) {
+      ++counts[0];
+    } else if (p == &library_.pushpop()) {
+      ++counts[1];
+    } else if (p == &library_.bitcnts()) {
+      ++counts[2];
+    }
+  }
+  EXPECT_EQ(counts[0], 8);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 8);
+}
+
+TEST_F(ProgramLibraryTest, HotTaskWorkloadIsAllBitcnts) {
+  const auto spawn = HotTaskWorkload(library_, 4);
+  EXPECT_EQ(spawn.size(), 4u);
+  for (const Program* p : spawn) {
+    EXPECT_EQ(p, &library_.bitcnts());
+  }
+}
+
+}  // namespace
+}  // namespace eas

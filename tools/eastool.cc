@@ -1,0 +1,139 @@
+// eastool - run energy-aware scheduling experiments from the command line.
+//
+// Examples:
+//   eastool --topology 2:4:2 --policy eas --workload mixed:6
+//           --duration-s 300 --temp-limit 38 --throttle
+//   eastool --topology 2:4:1 --policy baseline --workload homog:8,2,8
+//           --duration-s 120 --max-power 60
+//   eastool --policy eas --workload hot:1 --max-power 40 --throttle
+//           --trace-csv thermal.csv --summary-csv summary.csv
+//
+// Policies: baseline | eas | power-only | temp-only
+// Workloads: mixed:<instances> | homog:<memrw>,<pushpop>,<bitcnts> | hot:<n>
+//            | short:<n>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/base/flags.h"
+#include "src/sim/csv_export.h"
+#include "src/sim/experiment.h"
+#include "src/workloads/programs.h"
+#include "src/workloads/workload_builder.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: eastool [flags]\n"
+      "  --topology N:P:S    nodes : physical-per-node : smt (default 2:4:1)\n"
+      "  --policy NAME       baseline | eas | power-only | temp-only (default eas)\n"
+      "  --workload SPEC     mixed:<inst> | homog:<m>,<p>,<b> | hot:<n> | short:<n>\n"
+      "  --duration-s SEC    simulated seconds (default 120)\n"
+      "  --max-power W       explicit per-package power limit\n"
+      "  --temp-limit C      derive per-package limits from cooling (default 38)\n"
+      "  --throttle          enforce thermal throttling\n"
+      "  --seed N            experiment seed (default 42)\n"
+      "  --trace-csv FILE    write per-CPU thermal power trace\n"
+      "  --summary-csv FILE  write the run summary\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const eas::FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+
+  // --- machine -----------------------------------------------------------
+  eas::MachineConfig config;
+  {
+    const auto fields = eas::FlagParser::SplitColons(flags.GetString("topology", "2:4:1"));
+    if (fields.size() != 3) {
+      std::fprintf(stderr, "bad --topology (want N:P:S)\n");
+      return 1;
+    }
+    config.topology =
+        eas::CpuTopology(static_cast<std::size_t>(std::atoi(fields[0].c_str())),
+                         static_cast<std::size_t>(std::atoi(fields[1].c_str())),
+                         static_cast<std::size_t>(std::atoi(fields[2].c_str())));
+  }
+  if (config.topology.num_physical() == 8) {
+    config.cooling = eas::CoolingProfile::PaperXSeries445();
+  } else {
+    config.cooling = eas::CoolingProfile::Uniform(config.topology.num_physical(),
+                                                  eas::ThermalParams{});
+  }
+  if (flags.Has("max-power")) {
+    config.explicit_max_power_physical = flags.GetDouble("max-power", 60.0);
+  }
+  config.temp_limit = flags.GetDouble("temp-limit", 38.0);
+  config.throttling_enabled = flags.GetBool("throttle", false);
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  const std::string policy = flags.GetString("policy", "eas");
+  if (policy == "baseline") {
+    config.sched = eas::EnergySchedConfig::Baseline();
+  } else if (policy == "eas") {
+    config.sched = eas::EnergySchedConfig::EnergyAware();
+  } else if (policy == "power-only") {
+    config.sched = eas::EnergySchedConfig::EnergyAware();
+    config.sched.balancer_kind = eas::BalancerKind::kPowerOnly;
+  } else if (policy == "temp-only") {
+    config.sched = eas::EnergySchedConfig::EnergyAware();
+    config.sched.balancer_kind = eas::BalancerKind::kTemperatureOnly;
+  } else {
+    std::fprintf(stderr, "unknown --policy %s\n", policy.c_str());
+    return 1;
+  }
+
+  // --- workload ------------------------------------------------------------
+  const eas::ProgramLibrary library(config.model);
+  const auto workload =
+      eas::ParseWorkloadSpec(flags.GetString("workload", "mixed:3"), library);
+  if (workload.empty()) {
+    std::fprintf(stderr, "bad --workload\n");
+    return 1;
+  }
+
+  // --- run --------------------------------------------------------------------
+  eas::Experiment::Options options;
+  options.duration_ticks = static_cast<eas::Tick>(flags.GetDouble("duration-s", 120.0) * 1000.0);
+  options.sample_interval_ticks = 500;
+  eas::Experiment experiment(config, options);
+  const eas::RunResult result = experiment.Run(workload);
+
+  std::printf("policy:            %s\n", policy.c_str());
+  std::printf("tasks:             %zu\n", workload.size());
+  std::printf("cpus:              %zu logical / %zu physical\n", config.topology.num_logical(),
+              config.topology.num_physical());
+  std::printf("throughput:        %.1f work-ticks/s\n", result.Throughput());
+  std::printf("migrations:        %lld\n", static_cast<long long>(result.migrations));
+  std::printf("completions:       %lld\n", static_cast<long long>(result.completions));
+  std::printf("avg throttled:     %.2f%%\n", result.AverageThrottledFraction() * 100);
+  std::printf("peak thermal:      %.1f W\n", result.thermal_power.MaxValue());
+  std::printf("spread (steady):   %.1f W\n",
+              result.MaxThermalSpreadAfter(options.duration_ticks / 2));
+
+  const std::string trace_csv = flags.GetString("trace-csv");
+  if (!trace_csv.empty()) {
+    if (!eas::WriteFile(trace_csv, eas::SeriesSetToCsv(result.thermal_power))) {
+      std::fprintf(stderr, "failed to write %s\n", trace_csv.c_str());
+      return 1;
+    }
+    std::printf("trace written:     %s\n", trace_csv.c_str());
+  }
+  const std::string summary_csv = flags.GetString("summary-csv");
+  if (!summary_csv.empty()) {
+    if (!eas::WriteFile(summary_csv, eas::RunSummaryToCsv(result))) {
+      std::fprintf(stderr, "failed to write %s\n", summary_csv.c_str());
+      return 1;
+    }
+    std::printf("summary written:   %s\n", summary_csv.c_str());
+  }
+  return 0;
+}
