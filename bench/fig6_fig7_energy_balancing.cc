@@ -8,9 +8,11 @@
 //   Migrations: 3.3 (disabled) vs 32 (enabled); SMT on: 9.8 vs 87.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "src/base/ascii_plot.h"
-#include "src/sim/experiment.h"
+#include "src/sim/experiment_runner.h"
 #include "src/workloads/programs.h"
 #include "src/workloads/workload_builder.h"
 
@@ -27,13 +29,15 @@ eas::MachineConfig Config(bool smt, bool energy_aware) {
   return config;
 }
 
-eas::RunResult RunOnce(bool smt, bool energy_aware, eas::Tick duration) {
-  const eas::ProgramLibrary library(eas::EnergyModel::Default());
-  eas::Experiment::Options options;
-  options.duration_ticks = duration;
-  options.sample_interval_ticks = 2'000;
-  eas::Experiment experiment(Config(smt, energy_aware), options);
-  return experiment.Run(eas::MixedWorkload(library, smt ? 6 : 3));
+eas::ExperimentSpec Spec(const eas::ProgramLibrary& library, bool smt, bool energy_aware,
+                         eas::Tick duration) {
+  eas::ExperimentSpec spec;
+  spec.name = std::string(smt ? "smt" : "no-smt") + (energy_aware ? "/eas" : "/base");
+  spec.config = Config(smt, energy_aware);
+  spec.options.duration_ticks = duration;
+  spec.options.sample_interval_ticks = 2'000;
+  spec.programs = eas::MixedWorkload(library, smt ? 6 : 3);
+  return spec;
 }
 
 void PrintRun(const char* title, const eas::RunResult& result) {
@@ -59,9 +63,21 @@ int main() {
   std::printf("== Figures 6/7: thermal power of the eight CPUs, 18-task mixed workload ==\n\n");
   const eas::Tick duration = 900'000;  // the paper's 15 minutes
 
-  const eas::RunResult disabled = RunOnce(false, false, duration);
+  // All four 15-minute runs fan out across the ExperimentRunner's pool.
+  const eas::ProgramLibrary library(eas::EnergyModel::Default());
+  const std::vector<eas::ExperimentSpec> specs = {
+      Spec(library, false, false, duration),
+      Spec(library, false, true, duration),
+      Spec(library, true, false, duration),
+      Spec(library, true, true, duration),
+  };
+  const std::vector<eas::RunResult> results = eas::ExperimentRunner().RunAll(specs);
+  const eas::RunResult& disabled = results[0];
+  const eas::RunResult& enabled = results[1];
+  const eas::RunResult& smt_disabled = results[2];
+  const eas::RunResult& smt_enabled = results[3];
+
   PrintRun("Figure 6: energy balancing DISABLED", disabled);
-  const eas::RunResult enabled = RunOnce(false, true, duration);
   PrintRun("Figure 7: energy balancing ENABLED", enabled);
 
   std::printf("== Section 6.1 migration counts (15 minutes) ==\n\n");
@@ -70,9 +86,6 @@ int main() {
               static_cast<long long>(disabled.migrations));
   std::printf("%-22s %16s %16lld\n", "SMT off, enabled", "32",
               static_cast<long long>(enabled.migrations));
-
-  const eas::RunResult smt_disabled = RunOnce(true, false, duration);
-  const eas::RunResult smt_enabled = RunOnce(true, true, duration);
   std::printf("%-22s %16s %16lld\n", "SMT on, disabled", "9.8",
               static_cast<long long>(smt_disabled.migrations));
   std::printf("%-22s %16s %16lld\n", "SMT on, enabled", "87",

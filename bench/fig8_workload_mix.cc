@@ -4,14 +4,23 @@
 // bitcnts (hot); scenarios 9/0/9 .. 0/18/0. Throughput increase of
 // energy-aware scheduling peaks at 12.3% for 8/2/8 and vanishes for the
 // homogeneous 0/18/0 mix.
+//
+// The full sweep (10 mixes x 2 policies x 3 seeds = 60 runs) fans out over
+// the ExperimentRunner's thread pool; results come back in spec order, so
+// the aggregation below is independent of the thread count.
 
 #include <cstdio>
+#include <vector>
 
-#include "src/sim/experiment.h"
+#include "src/sim/experiment_runner.h"
 #include "src/workloads/programs.h"
 #include "src/workloads/workload_builder.h"
 
 namespace {
+
+constexpr std::uint64_t kSeeds[] = {42, 1337, 90210};
+constexpr std::size_t kNumSeeds = sizeof(kSeeds) / sizeof(kSeeds[0]);
+constexpr std::size_t kRunsPerMix = 2 * kNumSeeds;
 
 eas::MachineConfig Config(bool energy_aware, std::uint64_t seed) {
   eas::MachineConfig config;
@@ -27,17 +36,12 @@ eas::MachineConfig Config(bool energy_aware, std::uint64_t seed) {
 
 // Average throughput over a few seeds: baseline placement luck otherwise
 // dominates the per-mix differences.
-double AvgThroughput(bool energy_aware, const std::vector<const eas::Program*>& workload,
-                     eas::Tick duration) {
+double AvgThroughput(const std::vector<eas::RunResult>& results, std::size_t first) {
   double sum = 0.0;
-  const std::uint64_t seeds[] = {42, 1337, 90210};
-  for (std::uint64_t seed : seeds) {
-    eas::Experiment::Options options;
-    options.duration_ticks = duration;
-    eas::Experiment experiment(Config(energy_aware, seed), options);
-    sum += experiment.Run(workload).Throughput();
+  for (std::size_t i = 0; i < kNumSeeds; ++i) {
+    sum += results[first + i].Throughput();
   }
-  return sum / 3.0;
+  return sum / static_cast<double>(kNumSeeds);
 }
 
 }  // namespace
@@ -47,15 +51,36 @@ int main() {
   const eas::ProgramLibrary library(eas::EnergyModel::Default());
   const eas::Tick duration = 360'000;  // 6 simulated minutes per run
 
+  std::vector<eas::ExperimentSpec> specs;
+  for (int hot = 9; hot >= 0; --hot) {
+    const int medium = 18 - 2 * hot;
+    const auto workload = eas::HomogeneityWorkload(library, hot, medium, hot);
+    for (const bool energy_aware : {false, true}) {
+      for (const std::uint64_t seed : kSeeds) {
+        eas::ExperimentSpec spec;
+        spec.name = std::to_string(hot) + "/" + std::to_string(medium) + "/" +
+                    std::to_string(hot) + (energy_aware ? "/eas" : "/base");
+        spec.config = Config(energy_aware, seed);
+        spec.options.duration_ticks = duration;
+        spec.programs = workload;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+
+  const eas::ExperimentRunner runner;
+  std::printf("running %zu experiments on %zu threads...\n\n", specs.size(),
+              runner.num_threads());
+  const std::vector<eas::RunResult> results = runner.RunAll(specs);
+
   std::printf("%-12s %14s %14s %12s\n", "scenario", "baseline", "energy-aware", "increase");
   const double paper[] = {10.5, 12.3, 9.5, 8.0, 6.5, 5.0, 3.5, 2.0, 1.0, 0.0};
   int idx = 0;
   for (int hot = 9; hot >= 0; --hot) {
     const int medium = 18 - 2 * hot;
-    const auto workload = eas::HomogeneityWorkload(library, hot, medium, hot);
-
-    const double baseline = AvgThroughput(false, workload, duration);
-    const double eas_run = AvgThroughput(true, workload, duration);
+    const std::size_t first = static_cast<std::size_t>(idx) * kRunsPerMix;
+    const double baseline = AvgThroughput(results, first);
+    const double eas_run = AvgThroughput(results, first + kNumSeeds);
 
     char scenario[32];
     std::snprintf(scenario, sizeof(scenario), "%d/%d/%d", hot, medium, hot);

@@ -1,0 +1,105 @@
+// Sweep-scaling microbenchmark: wall time of an experiment sweep through the
+// ExperimentRunner at 1 thread vs all hardware threads, plus the per-tick
+// engine rate. Seeds the perf trajectory: run it per change and compare the
+// BENCH_sweep_scaling.json it writes.
+//
+//   $ bench_sweep_scaling [--runs=12] [--duration=40000] [--out=BENCH_sweep_scaling.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/flags.h"
+#include "src/sim/csv_export.h"
+#include "src/sim/experiment_runner.h"
+#include "src/workloads/programs.h"
+#include "src/workloads/workload_builder.h"
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::vector<eas::ExperimentSpec> MakeSweep(const eas::ProgramLibrary& library, int runs,
+                                           eas::Tick duration) {
+  eas::ExperimentSpec base;
+  base.name = "sweep";
+  base.config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/false);
+  base.config.cooling = eas::CoolingProfile::PaperXSeries445();
+  base.config.explicit_max_power_physical = 60.0;
+  base.config.estimator_weights = eas::EnergyModel::Default().weights();
+  base.options.duration_ticks = duration;
+  base.programs = eas::MixedWorkload(library, 2);
+  return eas::ExperimentRunner::SeedSweep(base, static_cast<std::size_t>(runs));
+}
+
+double TimeSweep(const std::vector<eas::ExperimentSpec>& specs, std::size_t threads,
+                 double* work_done) {
+  const eas::ExperimentRunner runner(threads);
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<eas::RunResult> results = runner.RunAll(specs);
+  const double elapsed = SecondsSince(start);
+  *work_done = 0.0;
+  for (const eas::RunResult& result : results) {
+    *work_done += result.work_done_ticks;
+  }
+  return elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const eas::FlagParser flags(argc, argv);
+  const int runs = std::max(1, static_cast<int>(flags.GetInt("runs", 12)));
+  const eas::Tick duration = std::max<eas::Tick>(1, flags.GetInt("duration", 40'000));
+  const std::string out = flags.GetString("out", "BENCH_sweep_scaling.json");
+
+  const eas::ProgramLibrary library(eas::EnergyModel::Default());
+  const std::vector<eas::ExperimentSpec> specs = MakeSweep(library, runs, duration);
+  const std::size_t hardware = eas::ExperimentRunner().num_threads();
+
+  std::printf("== sweep scaling: %d runs x %lld ticks ==\n\n", runs,
+              static_cast<long long>(duration));
+
+  double work_single = 0.0;
+  const double single = TimeSweep(specs, 1, &work_single);
+  std::printf("  1 thread : %7.2f s  (%.0f work ticks)\n", single, work_single);
+
+  double work_multi = 0.0;
+  const double multi = TimeSweep(specs, hardware, &work_multi);
+  std::printf("  %zu threads: %7.2f s  (%.0f work ticks)\n", hardware, multi, work_multi);
+
+  const double speedup = multi > 0.0 ? single / multi : 0.0;
+  const double ticks_per_second =
+      single > 0.0 ? static_cast<double>(runs) * static_cast<double>(duration) / single : 0.0;
+  std::printf("  speedup  : %6.2fx\n", speedup);
+  std::printf("  1-thread engine rate: %.0f machine-ticks/s\n", ticks_per_second);
+  if (work_single != work_multi) {
+    std::printf("  WARNING: aggregate work differs across thread counts!\n");
+  }
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"bench\": \"sweep_scaling\",\n"
+                "  \"runs\": %d,\n"
+                "  \"duration_ticks\": %lld,\n"
+                "  \"threads\": %zu,\n"
+                "  \"single_thread_seconds\": %.4f,\n"
+                "  \"multi_thread_seconds\": %.4f,\n"
+                "  \"speedup\": %.4f,\n"
+                "  \"single_thread_ticks_per_second\": %.0f,\n"
+                "  \"deterministic_across_threads\": %s\n"
+                "}\n",
+                runs, static_cast<long long>(duration), hardware, single, multi, speedup,
+                ticks_per_second, work_single == work_multi ? "true" : "false");
+  if (!eas::WriteFile(out, json)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

@@ -5,10 +5,14 @@
 // the time without energy balancing, noticeably less with it; the average
 // falls from 15.2% to 10.2%, and throughput rises 4.7% (4.9% with a
 // short-running-task workload where initial placement dominates).
+//
+// All four runs (mixed/short x baseline/energy-aware) fan out over the
+// ExperimentRunner.
 
 #include <cstdio>
+#include <vector>
 
-#include "src/sim/experiment.h"
+#include "src/sim/experiment_runner.h"
 #include "src/workloads/programs.h"
 #include "src/workloads/workload_builder.h"
 
@@ -25,22 +29,35 @@ eas::MachineConfig Config(bool energy_aware) {
   return config;
 }
 
-eas::RunResult RunMixed(bool energy_aware, eas::Tick duration) {
-  const eas::ProgramLibrary library(eas::EnergyModel::Default());
-  eas::Experiment::Options options;
-  options.duration_ticks = duration;
-  eas::Experiment experiment(Config(energy_aware), options);
-  return experiment.Run(eas::MixedWorkload(library, 6));
-}
-
 }  // namespace
 
 int main() {
   std::printf("== Table 3: CPU throttling percentage (38 C artificial limit) ==\n\n");
   const eas::Tick duration = 600'000;  // 10 simulated minutes
 
-  const eas::RunResult baseline = RunMixed(false, duration);
-  const eas::RunResult eas_run = RunMixed(true, duration);
+  const eas::ProgramLibrary library(eas::EnergyModel::Default());
+  const auto mixed = eas::MixedWorkload(library, 6);
+  // Short-running tasks: initial placement carries the benefit.
+  std::vector<const eas::Program*> shorts;
+  for (int i = 0; i < 24; ++i) {
+    shorts.push_back(i % 2 == 0 ? &library.short_hot() : &library.short_cool());
+  }
+
+  std::vector<eas::ExperimentSpec> specs(4);
+  specs[0] = {"mixed/base", Config(false), {}, mixed};
+  specs[1] = {"mixed/eas", Config(true), {}, mixed};
+  specs[2] = {"short/base", Config(false), {}, shorts};
+  specs[3] = {"short/eas", Config(true), {}, shorts};
+  specs[0].options.duration_ticks = duration;
+  specs[1].options.duration_ticks = duration;
+  specs[2].options.duration_ticks = 300'000;
+  specs[3].options.duration_ticks = 300'000;
+
+  const std::vector<eas::RunResult> results = eas::ExperimentRunner().RunAll(specs);
+  const eas::RunResult& baseline = results[0];
+  const eas::RunResult& eas_run = results[1];
+  const eas::RunResult& base_short = results[2];
+  const eas::RunResult& eas_short = results[3];
 
   std::printf("%-12s %22s %22s\n", "logical CPU", "energy balancing", "energy balancing");
   std::printf("%-12s %22s %22s\n", "", "disabled", "enabled");
@@ -58,18 +75,6 @@ int main() {
   const double increase = eas::ThroughputIncrease(baseline, eas_run) * 100;
   std::printf("throughput increase, mixed workload: %+.1f%%  (paper: +4.7%%)\n\n", increase);
 
-  // Short-running tasks: initial placement carries the benefit.
-  const eas::ProgramLibrary library(eas::EnergyModel::Default());
-  std::vector<const eas::Program*> shorts;
-  for (int i = 0; i < 24; ++i) {
-    shorts.push_back(i % 2 == 0 ? &library.short_hot() : &library.short_cool());
-  }
-  eas::Experiment::Options options;
-  options.duration_ticks = 300'000;
-  eas::Experiment base_experiment(Config(false), options);
-  const eas::RunResult base_short = base_experiment.Run(shorts);
-  eas::Experiment eas_experiment(Config(true), options);
-  const eas::RunResult eas_short = eas_experiment.Run(shorts);
   std::printf("throughput increase, short tasks (<1 s): %+.1f%%  (paper: +4.9%%)\n",
               eas::ThroughputIncrease(base_short, eas_short) * 100);
 

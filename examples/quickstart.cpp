@@ -3,37 +3,38 @@
 //
 //   $ ./quickstart
 //
-// Walks through the public API end to end: MachineConfig -> Experiment ->
-// RunResult.
+// Walks through the public API end to end: MachineConfig -> ExperimentSpec
+// -> ExperimentRunner -> RunResult. The baseline and energy-aware runs
+// execute concurrently on the runner's thread pool.
 
 #include <cstdio>
+#include <vector>
 
-#include "src/sim/experiment.h"
+#include "src/sim/experiment_runner.h"
 #include "src/workloads/programs.h"
 #include "src/workloads/workload_builder.h"
 
 namespace {
 
-eas::RunResult RunOnce(bool energy_aware) {
+eas::ExperimentSpec MakeSpec(const eas::ProgramLibrary& library, bool energy_aware) {
   // 1. Describe the machine: the paper's 8-way Xeon (SMT off for clarity),
-  //    heterogeneous cooling, a 60 W per-package power budget.
-  eas::MachineConfig config;
-  config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/false);
-  config.cooling = eas::CoolingProfile::PaperXSeries445();
-  config.explicit_max_power_physical = 60.0;
-  config.sched = energy_aware ? eas::EnergySchedConfig::EnergyAware()
-                              : eas::EnergySchedConfig::Baseline();
+  //    heterogeneous cooling, a 60 W per-package power budget. The balancing
+  //    policy is selected by name through the policy registry.
+  eas::ExperimentSpec spec;
+  spec.name = energy_aware ? "energy_aware" : "baseline";
+  spec.config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/false);
+  spec.config.cooling = eas::CoolingProfile::PaperXSeries445();
+  spec.config.explicit_max_power_physical = 60.0;
+  spec.config.sched = energy_aware ? eas::EnergySchedConfig::EnergyAware()
+                                   : eas::EnergySchedConfig::Baseline();
 
   // 2. Build the workload: three instances of each Table 2 program.
-  const eas::ProgramLibrary library(config.model);
-  const auto workload = eas::MixedWorkload(library, /*instances=*/3);
+  spec.programs = eas::MixedWorkload(library, /*instances=*/3);
 
-  // 3. Run for two simulated minutes, sampling thermal power.
-  eas::Experiment::Options options;
-  options.duration_ticks = 120'000;
-  options.sample_interval_ticks = 1'000;
-  eas::Experiment experiment(config, options);
-  return experiment.Run(workload);
+  // 3. Two simulated minutes, sampling thermal power.
+  spec.options.duration_ticks = 120'000;
+  spec.options.sample_interval_ticks = 1'000;
+  return spec;
 }
 
 }  // namespace
@@ -41,8 +42,11 @@ eas::RunResult RunOnce(bool energy_aware) {
 int main() {
   std::printf("== quickstart: energy-aware scheduling on a simulated 8-way SMP ==\n\n");
 
-  const eas::RunResult baseline = RunOnce(/*energy_aware=*/false);
-  const eas::RunResult balanced = RunOnce(/*energy_aware=*/true);
+  const eas::ProgramLibrary library(eas::EnergyModel::Default());
+  const std::vector<eas::RunResult> results = eas::ExperimentRunner().RunAll(
+      {MakeSpec(library, false), MakeSpec(library, true)});
+  const eas::RunResult& baseline = results[0];
+  const eas::RunResult& balanced = results[1];
 
   const eas::Tick settle = 50'000;  // skip the thermal warm-up
   std::printf("thermal power spread across CPUs (after warm-up):\n");

@@ -2,49 +2,60 @@
 // job need before throttling stops hurting? Sweeps the per-package power
 // limit and shows how hot task migration exploits idle CPUs (Section 6.4).
 //
-// Demonstrates: hot task migration, the throttle duty cycle math, and the
-// interaction of power limits with throughput.
+// Demonstrates: hot task migration, the throttle duty cycle math, the
+// interaction of power limits with throughput, and sweeping a parameter grid
+// through the parallel ExperimentRunner.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "src/sim/experiment.h"
+#include "src/sim/experiment_runner.h"
 #include "src/workloads/programs.h"
 #include "src/workloads/workload_builder.h"
 
 namespace {
 
-double RunWithLimit(double limit_watts, bool energy_aware, std::int64_t* migrations) {
-  eas::MachineConfig config;
-  config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/true);
-  config.cooling = eas::CoolingProfile::PaperXSeries445();
-  config.explicit_max_power_physical = limit_watts;
-  config.throttling_enabled = true;
-  config.sched = energy_aware ? eas::EnergySchedConfig::EnergyAware()
-                              : eas::EnergySchedConfig::Baseline();
-
-  const eas::ProgramLibrary library(config.model);
-  eas::Experiment::Options options;
-  options.duration_ticks = 150'000;
-  eas::Experiment experiment(config, options);
-  const eas::RunResult result = experiment.Run(eas::HotTaskWorkload(library, 1));
-  if (migrations != nullptr) {
-    *migrations = result.migrations;
-  }
-  return result.Throughput();
+eas::ExperimentSpec SpecWithLimit(const std::vector<const eas::Program*>& workload,
+                                  double limit_watts, bool energy_aware) {
+  eas::ExperimentSpec spec;
+  spec.name = std::to_string(static_cast<int>(limit_watts)) + "W" +
+              (energy_aware ? "/eas" : "/base");
+  spec.config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/true);
+  spec.config.cooling = eas::CoolingProfile::PaperXSeries445();
+  spec.config.explicit_max_power_physical = limit_watts;
+  spec.config.throttling_enabled = true;
+  spec.config.sched = energy_aware ? eas::EnergySchedConfig::EnergyAware()
+                                   : eas::EnergySchedConfig::Baseline();
+  spec.options.duration_ticks = 150'000;
+  spec.programs = workload;
+  return spec;
 }
 
 }  // namespace
 
 int main() {
   std::printf("== thermal headroom explorer: one 61 W batch job, varying power budget ==\n\n");
+
+  const eas::ProgramLibrary library(eas::EnergyModel::Default());
+  const auto workload = eas::HotTaskWorkload(library, 1);
+  const double limits[] = {35.0, 40.0, 45.0, 50.0, 55.0, 61.0};
+
+  std::vector<eas::ExperimentSpec> specs;
+  for (const double limit : limits) {
+    specs.push_back(SpecWithLimit(workload, limit, false));
+    specs.push_back(SpecWithLimit(workload, limit, true));
+  }
+  const std::vector<eas::RunResult> results = eas::ExperimentRunner().RunAll(specs);
+
   std::printf("%10s %14s %14s %12s %12s\n", "limit [W]", "baseline", "energy-aware", "increase",
               "migrations");
-  for (double limit : {35.0, 40.0, 45.0, 50.0, 55.0, 61.0}) {
-    std::int64_t migrations = 0;
-    const double base = RunWithLimit(limit, false, nullptr);
-    const double eas_tp = RunWithLimit(limit, true, &migrations);
-    std::printf("%10.0f %14.0f %14.0f %11.1f%% %12lld\n", limit, base, eas_tp,
-                (eas_tp / base - 1.0) * 100, static_cast<long long>(migrations));
+  for (std::size_t i = 0; i < std::size(limits); ++i) {
+    const eas::RunResult& base = results[i * 2];
+    const eas::RunResult& eas_run = results[i * 2 + 1];
+    std::printf("%10.0f %14.0f %14.0f %11.1f%% %12lld\n", limits[i], base.Throughput(),
+                eas_run.Throughput(), (eas_run.Throughput() / base.Throughput() - 1.0) * 100,
+                static_cast<long long>(eas_run.migrations));
   }
   std::printf(
       "\nBelow the job's 61 W appetite the baseline must throttle one package while\n"

@@ -8,6 +8,8 @@
 #ifndef SRC_CORE_ENERGY_SCHED_CONFIG_H_
 #define SRC_CORE_ENERGY_SCHED_CONFIG_H_
 
+#include <string>
+
 #include "src/base/time.h"
 #include "src/core/energy_balancer.h"
 #include "src/core/hot_task_migrator.h"
@@ -30,6 +32,14 @@ struct EnergySchedConfig {
   // Effective only when energy_balancing is true; kLoadOnly is implied
   // otherwise.
   BalancerKind balancer_kind = BalancerKind::kEnergyAware;
+
+  // Balancing policy selected by name through the BalancePolicyRegistry
+  // (src/core/policy_registry.h). When empty, the name is derived from
+  // `balancer_kind`; setting it overrides the enum and admits policies the
+  // enum does not know about. Like `balancer_kind`, it only takes effect
+  // while `energy_balancing` is true - disabling energy balancing always
+  // means the stock "load_only" policy.
+  std::string balancer_name;
 
   // Balancing cadence (per CPU). Linux rebalances every ~100-200 ms busy.
   Tick balance_interval_ticks = 200;

@@ -1,0 +1,136 @@
+#include "src/core/policy_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/energy_balancer.h"
+#include "src/core/naive_balancers.h"
+#include "src/sched/load_balancer.h"
+
+namespace eas {
+namespace {
+
+// Adapts a concrete balancer (each with its own Balance signature) to the
+// BalancePolicy interface. `Balancer::Balance` must be callable as
+// `balancer.Balance(cpu, env)`; the migration count is derived from the
+// return value.
+template <typename Balancer>
+class PolicyAdapter : public BalancePolicy {
+ public:
+  PolicyAdapter(std::string name, Balancer balancer)
+      : name_(std::move(name)), balancer_(std::move(balancer)) {}
+
+  int Balance(int cpu, BalanceEnv& env) override {
+    return Migrations(balancer_.Balance(cpu, env));
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  static int Migrations(int count) { return count; }
+  static int Migrations(const EnergyLoadBalancer::Result& result) { return result.total(); }
+
+  std::string name_;
+  Balancer balancer_;
+};
+
+template <typename Balancer>
+std::unique_ptr<BalancePolicy> MakeAdapter(std::string name, Balancer balancer) {
+  return std::make_unique<PolicyAdapter<Balancer>>(std::move(name), std::move(balancer));
+}
+
+void RegisterBuiltins(BalancePolicyRegistry& registry) {
+  registry.Register("load_only", [](const EnergySchedConfig&) {
+    return MakeAdapter("load_only", LoadBalancer(LoadBalancer::Options{}));
+  });
+  registry.Register("energy_aware", [](const EnergySchedConfig& config) {
+    return MakeAdapter("energy_aware", EnergyLoadBalancer(config.balancer));
+  });
+  registry.Register("power_only", [](const EnergySchedConfig&) {
+    return MakeAdapter("power_only", PowerOnlyBalancer());
+  });
+  registry.Register("temperature_only", [](const EnergySchedConfig&) {
+    return MakeAdapter("temperature_only", TemperatureOnlyBalancer());
+  });
+}
+
+}  // namespace
+
+BalancePolicyRegistry& BalancePolicyRegistry::Global() {
+  static BalancePolicyRegistry* registry = [] {
+    auto* r = new BalancePolicyRegistry();
+    RegisterBuiltins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool BalancePolicyRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<BalancePolicy> BalancePolicyRegistry::Create(
+    const std::string& name, const EnergySchedConfig& config) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return nullptr;
+    }
+    factory = it->second;
+  }
+  return factory(config);
+}
+
+std::unique_ptr<BalancePolicy> BalancePolicyRegistry::CreateOrThrow(
+    const std::string& name, const EnergySchedConfig& config) const {
+  std::unique_ptr<BalancePolicy> policy = Create(name, config);
+  if (policy == nullptr) {
+    std::string known;
+    for (const std::string& candidate : Names()) {
+      known += known.empty() ? candidate : ", " + candidate;
+    }
+    throw std::invalid_argument("unknown balancing policy \"" + name + "\" (known: " + known +
+                                ")");
+  }
+  return policy;
+}
+
+bool BalancePolicyRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.contains(name);
+}
+
+std::vector<std::string> BalancePolicyRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string EffectiveBalancerName(const EnergySchedConfig& config) {
+  if (!config.energy_balancing) {
+    return "load_only";
+  }
+  if (!config.balancer_name.empty()) {
+    return config.balancer_name;
+  }
+  switch (config.balancer_kind) {
+    case BalancerKind::kLoadOnly:
+      return "load_only";
+    case BalancerKind::kEnergyAware:
+      return "energy_aware";
+    case BalancerKind::kPowerOnly:
+      return "power_only";
+    case BalancerKind::kTemperatureOnly:
+      return "temperature_only";
+  }
+  return "energy_aware";
+}
+
+}  // namespace eas

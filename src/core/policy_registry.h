@@ -1,0 +1,68 @@
+// Name -> factory registry for balancing policies.
+//
+// The engine selects its BalancePolicy by string (EnergySchedConfig::
+// balancer_name), so experiments switch policies from configuration or
+// command-line flags without touching scheduler or engine code. Factories
+// receive the EnergySchedConfig and build the policy with its options (e.g.
+// the energy balancer's margins).
+//
+// Built-in policies ("load_only", "energy_aware", "power_only",
+// "temperature_only") are registered on first access; additional policies
+// can be registered at runtime (e.g. from tests or tools).
+
+#ifndef SRC_CORE_POLICY_REGISTRY_H_
+#define SRC_CORE_POLICY_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/energy_sched_config.h"
+#include "src/sched/balance_policy.h"
+
+namespace eas {
+
+class BalancePolicyRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<BalancePolicy>(const EnergySchedConfig&)>;
+
+  // The process-wide registry, with the built-in policies pre-registered.
+  static BalancePolicyRegistry& Global();
+
+  // Registers `factory` under `name`. Returns false (and leaves the existing
+  // entry) if the name is already taken.
+  bool Register(const std::string& name, Factory factory);
+
+  // Builds the policy registered under `name`; nullptr if unknown.
+  std::unique_ptr<BalancePolicy> Create(const std::string& name,
+                                        const EnergySchedConfig& config) const;
+
+  // Like Create, but throws std::invalid_argument naming the known policies
+  // when `name` is unknown - the engine's constructor path.
+  std::unique_ptr<BalancePolicy> CreateOrThrow(const std::string& name,
+                                               const EnergySchedConfig& config) const;
+
+  bool Contains(const std::string& name) const;
+
+  // Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  BalancePolicyRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+// The balancing policy `config` asks for: "load_only" when energy balancing
+// is disabled; otherwise `config.balancer_name`, falling back to the legacy
+// `balancer_kind` enum when the name is empty.
+std::string EffectiveBalancerName(const EnergySchedConfig& config);
+
+}  // namespace eas
+
+#endif  // SRC_CORE_POLICY_REGISTRY_H_

@@ -1,0 +1,31 @@
+// Uniform interface over the balancing algorithms.
+//
+// Every balancing policy - the stock load balancer, the paper's merged
+// energy/load balancer, and the single-metric strawmen - is a periodic
+// per-CPU pass over a BalanceEnv. The simulation engine holds one
+// BalancePolicy chosen by name through the BalancePolicyRegistry (src/core),
+// so new policies plug in without touching the engine.
+
+#ifndef SRC_SCHED_BALANCE_POLICY_H_
+#define SRC_SCHED_BALANCE_POLICY_H_
+
+#include <string>
+
+#include "src/sched/balance_env.h"
+
+namespace eas {
+
+class BalancePolicy {
+ public:
+  virtual ~BalancePolicy() = default;
+
+  // One balancing pass for `cpu`. Returns the number of tasks migrated.
+  virtual int Balance(int cpu, BalanceEnv& env) = 0;
+
+  // The registry name this policy was created under.
+  virtual const std::string& name() const = 0;
+};
+
+}  // namespace eas
+
+#endif  // SRC_SCHED_BALANCE_POLICY_H_

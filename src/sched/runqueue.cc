@@ -4,16 +4,30 @@
 
 namespace eas {
 
+void Runqueue::AddQueuedPower(Task* task) {
+  task->set_enqueued_power(task->profile().power());
+  queued_power_sum_ += task->enqueued_power();
+}
+
+void Runqueue::SubtractQueuedPower(const Task* task) {
+  queued_power_sum_ -= task->enqueued_power();
+  if (queued_.empty()) {
+    queued_power_sum_ = 0.0;  // re-anchor: no drift survives an empty queue
+  }
+}
+
 void Runqueue::Enqueue(Task* task) {
   task->set_cpu(cpu_);
   task->set_state(TaskState::kRunnable);
   queued_.push_back(task);
+  AddQueuedPower(task);
 }
 
 void Runqueue::EnqueueFront(Task* task) {
   task->set_cpu(cpu_);
   task->set_state(TaskState::kRunnable);
   queued_.push_front(task);
+  AddQueuedPower(task);
 }
 
 bool Runqueue::Remove(Task* task) {
@@ -22,6 +36,7 @@ bool Runqueue::Remove(Task* task) {
     return false;
   }
   queued_.erase(it);
+  SubtractQueuedPower(task);
   return true;
 }
 
@@ -32,6 +47,7 @@ Task* Runqueue::PickNext() {
   }
   current_ = queued_.front();
   queued_.pop_front();
+  SubtractQueuedPower(current_);
   current_->set_state(TaskState::kRunning);
   return current_;
 }
@@ -43,19 +59,12 @@ Task* Runqueue::TakeCurrent() {
 }
 
 double Runqueue::AveragePower(double idle_power) const {
-  double sum = 0.0;
-  std::size_t count = 0;
-  if (current_ != nullptr) {
-    sum += current_->profile().power();
-    ++count;
-  }
-  for (const Task* task : queued_) {
-    sum += task->profile().power();
-    ++count;
-  }
+  const std::size_t count = queued_.size() + (current_ != nullptr ? 1 : 0);
   if (count == 0) {
     return idle_power;
   }
+  const double sum =
+      queued_power_sum_ + (current_ != nullptr ? current_->profile().power() : 0.0);
   return sum / static_cast<double>(count);
 }
 

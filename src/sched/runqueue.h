@@ -49,6 +49,12 @@ class Runqueue {
 
   // Average energy profile power over current + queued tasks; `idle_power`
   // for an empty queue. This is the paper's runqueue power.
+  //
+  // O(1): the sum over the queued tasks is maintained incrementally on
+  // enqueue/remove/pick (a queued task's profile only changes while it is
+  // current, never while it waits), so the balancers' many reads per pass do
+  // not rescan the queue. The current task's profile *does* change as it
+  // runs and is read live.
   double AveragePower(double idle_power) const;
 
   // Hottest / coolest *queued* task (the running task can only be moved by
@@ -57,9 +63,16 @@ class Runqueue {
   Task* CoolestQueued() const;
 
  private:
+  // Bookkeeping for the incremental queued-power sum. Removal subtracts the
+  // exact contribution recorded at enqueue time; an emptied queue re-anchors
+  // the sum at zero so floating-point drift cannot accumulate.
+  void AddQueuedPower(Task* task);
+  void SubtractQueuedPower(const Task* task);
+
   int cpu_;
   std::deque<Task*> queued_;
   Task* current_ = nullptr;
+  double queued_power_sum_ = 0.0;
 };
 
 }  // namespace eas

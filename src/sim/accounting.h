@@ -1,0 +1,52 @@
+// Accounting observer: records the traces the paper's evaluation reports.
+//
+// Attached to the SimulationEngine as a TickObserver, it samples thermal
+// power per logical CPU, true temperature per package, and (optionally) the
+// CPU residency of selected tasks (Figure 9) on a fixed sampling grid. The
+// Experiment harness moves the collected series into its RunResult.
+
+#ifndef SRC_SIM_ACCOUNTING_H_
+#define SRC_SIM_ACCOUNTING_H_
+
+#include <vector>
+
+#include "src/base/series.h"
+#include "src/sim/simulation_engine.h"
+
+namespace eas {
+
+class Accounting : public TickObserver {
+ public:
+  struct Options {
+    Tick sample_interval_ticks = 500;
+  };
+
+  // Creates one thermal-power series per logical CPU ("cpuN") and one
+  // temperature series per package ("physN") of `state`. The sampling grid
+  // is anchored at `state`'s current tick, so series ticks are relative to
+  // the moment the accounting was created (run-start), not absolute machine
+  // time - a second Run on the same machine starts its traces at 0 again.
+  Accounting(const SimulationState& state, const Options& options);
+
+  // Adds a CPU-residency trace for `task` (named "<program>#<id>"). Call
+  // before the first sampled tick.
+  void TraceTask(const Task* task);
+
+  void OnTick(const SimulationState& state) override;
+
+  SeriesSet& thermal_power() { return thermal_power_; }
+  SeriesSet& temperature() { return temperature_; }
+  SeriesSet& task_cpu() { return task_cpu_; }
+
+ private:
+  Options options_;
+  Tick start_tick_;
+  SeriesSet thermal_power_;
+  SeriesSet temperature_;
+  SeriesSet task_cpu_;
+  std::vector<const Task*> traced_;
+};
+
+}  // namespace eas
+
+#endif  // SRC_SIM_ACCOUNTING_H_

@@ -1,0 +1,42 @@
+#include "src/sim/counter_sampler.h"
+
+namespace eas {
+
+double CounterSampler::Sample(SimulationState& state, std::size_t physical,
+                              const std::vector<int>& active,
+                              const std::vector<EventVector>& events) const {
+  const double static_share = state.estimator().static_power_per_logical();
+  double true_dynamic = 0.0;
+
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const int cpu = active[i];
+    state.counters(cpu).Accumulate(events[i]);
+    true_dynamic += state.config().model.DynamicEnergy(events[i]);
+
+    // Estimated per-tick energy: what the kernel's estimator attributes.
+    const double estimated =
+        state.estimator().EstimateDynamicEnergy(events[i]) + static_share * kTickSeconds;
+    Task* task = state.runqueue(cpu).current();
+    task->AccumulateEnergy(estimated);
+    state.power_state(cpu).AccountEnergy(estimated, kTickSeconds);
+  }
+
+  // Inactive (idle or throttled) siblings burn their halt-power share.
+  const double idle_share = state.IdlePowerPerLogical();
+  const std::size_t siblings = state.config().topology.smt_per_physical();
+  for (std::size_t t = 0; t < siblings; ++t) {
+    const int cpu = state.config().topology.LogicalId(physical, t);
+    bool is_active = false;
+    for (int a : active) {
+      if (a == cpu) {
+        is_active = true;
+      }
+    }
+    if (!is_active) {
+      state.power_state(cpu).AccountEnergy(idle_share * kTickSeconds, kTickSeconds);
+    }
+  }
+  return true_dynamic;
+}
+
+}  // namespace eas

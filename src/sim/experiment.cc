@@ -1,6 +1,9 @@
 #include "src/sim/experiment.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "src/sim/accounting.h"
 
 namespace eas {
 
@@ -45,34 +48,22 @@ RunResult Experiment::Run(const std::vector<const Program*>& programs) {
     spawned.push_back(machine_->Spawn(*program));
   }
 
-  for (std::size_t cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
-    result.thermal_power.Create("cpu" + std::to_string(cpu));
-  }
-  for (std::size_t phys = 0; phys < machine_->num_physical(); ++phys) {
-    result.temperature.Create("phys" + std::to_string(phys));
-  }
+  Accounting::Options accounting_options;
+  accounting_options.sample_interval_ticks = options_.sample_interval_ticks;
+  Accounting accounting(machine_->state(), accounting_options);
   if (options_.record_task_cpu) {
     for (const Task* task : spawned) {
-      result.task_cpu.Create(task->name() + "#" + std::to_string(task->id()));
+      accounting.TraceTask(task);
     }
   }
 
-  for (Tick t = 0; t < options_.duration_ticks; ++t) {
-    machine_->Step();
-    if (t % options_.sample_interval_ticks == 0) {
-      for (std::size_t cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
-        result.thermal_power.at(cpu).Add(t, machine_->ThermalPower(static_cast<int>(cpu)));
-      }
-      for (std::size_t phys = 0; phys < machine_->num_physical(); ++phys) {
-        result.temperature.at(phys).Add(t, machine_->Temperature(phys));
-      }
-      if (options_.record_task_cpu) {
-        for (std::size_t i = 0; i < spawned.size(); ++i) {
-          result.task_cpu.at(i).Add(t, static_cast<double>(Machine::TaskCpu(*spawned[i])));
-        }
-      }
-    }
-  }
+  machine_->engine().AddObserver(&accounting);
+  machine_->Run(options_.duration_ticks);
+  machine_->engine().RemoveObserver(&accounting);
+
+  result.thermal_power = std::move(accounting.thermal_power());
+  result.temperature = std::move(accounting.temperature());
+  result.task_cpu = std::move(accounting.task_cpu());
 
   result.migrations = machine_->migration_count();
   result.completions = machine_->TotalCompletions();

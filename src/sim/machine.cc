@@ -1,432 +1,13 @@
 #include "src/sim/machine.h"
 
-#include <cassert>
-#include <limits>
-
-#include "src/counters/calibration.h"
-
 namespace eas {
 
-Machine::Machine(const MachineConfig& config)
-    : config_(config),
-      domains_(DomainHierarchy::Build(config.topology)),
-      rng_(config.seed),
-      load_balancer_(LoadBalancer::Options{}),
-      energy_balancer_(config.sched.balancer),
-      hot_migrator_(config.sched.hot_migration) {
-  const std::size_t logical = config_.topology.num_logical();
-  const std::size_t physical = config_.topology.num_physical();
-  const std::size_t siblings = config_.topology.smt_per_physical();
-  assert(config_.cooling.num_physical() >= physical);
-
-  // Calibrated estimator: either injected weights or a fresh calibration run
-  // against the machine's power meter (the realistic path).
-  EventWeights weights;
-  if (config_.estimator_weights.has_value()) {
-    weights = *config_.estimator_weights;
-  } else {
-    weights = Calibrator::CalibrateDefault(config_.model, config_.seed ^ 0xca11b7a7eULL,
-                                           config_.meter_error_stddev)
-                  .weights;
-  }
-  estimator_ = std::make_unique<EnergyEstimator>(
-      weights, config_.model.active_base_power() / static_cast<double>(siblings));
-
-  const double idle_logical = IdlePowerPerLogical();
-  for (std::size_t cpu = 0; cpu < logical; ++cpu) {
-    const std::size_t phys = config_.topology.PhysicalOf(static_cast<int>(cpu));
-    const ThermalParams& params = config_.cooling.ParamsFor(phys);
-    double max_physical;
-    if (config_.explicit_max_power_physical.has_value()) {
-      max_physical = *config_.explicit_max_power_physical;
-    } else {
-      max_physical = params.MaxPowerForTemp(config_.temp_limit);
-    }
-    max_power_logical_.push_back(max_physical / static_cast<double>(siblings));
-    runqueues_.push_back(std::make_unique<Runqueue>(static_cast<int>(cpu)));
-    counters_.emplace_back();
-    power_states_.emplace_back(max_power_logical_.back(), params.TimeConstant(), idle_logical);
-    throttles_.emplace_back(config_.throttle_hysteresis_watts);
-  }
-  for (std::size_t phys = 0; phys < physical; ++phys) {
-    thermal_.emplace_back(config_.cooling.ParamsFor(phys));
-    last_true_power_.push_back(config_.model.halt_power());
-    package_throttles_.emplace_back(config_.throttle_hysteresis_watts);
-  }
-}
-
-double Machine::IdlePowerPerLogical() const {
-  return config_.model.halt_power() / static_cast<double>(config_.topology.smt_per_physical());
-}
-
-double Machine::MaxPowerPhysical(std::size_t physical) const {
-  const int first_logical = config_.topology.LogicalId(physical, 0);
-  return max_power_logical_[static_cast<std::size_t>(first_logical)] *
-         static_cast<double>(config_.topology.smt_per_physical());
-}
-
-double Machine::RunqueuePower(int cpu) const {
-  return runqueues_[static_cast<std::size_t>(cpu)]->AveragePower(IdlePowerPerLogical());
-}
-
-double Machine::ThermalPower(int cpu) const {
-  return power_states_[static_cast<std::size_t>(cpu)].thermal_power();
-}
-
-double Machine::MaxPower(int cpu) const { return max_power_logical_[static_cast<std::size_t>(cpu)]; }
-
-double Machine::Temperature(std::size_t physical) const {
-  return thermal_[physical].temperature();
-}
-
-double Machine::TruePower(std::size_t physical) const { return last_true_power_[physical]; }
-
-int Machine::TaskCpu(const Task& task) {
-  if (task.state() == TaskState::kSleeping || task.state() == TaskState::kFinished) {
-    return kInvalidCpu;
-  }
-  return task.cpu();
-}
-
-Task* Machine::Spawn(const Program& program, int nice) {
-  auto task = std::make_unique<Task>(next_task_id_++, &program, rng_.NextU64());
-  Task* raw = task.get();
-  raw->set_nice(nice);
-  // The profile's standard period stays the nice-0 timeslice for every task:
-  // the variable-period exponential average normalizes any actual period
-  // length (Section 3.3), so profiles of tasks with different priorities
-  // remain comparable.
-  raw->profile() = EnergyProfile(config_.profile_sample_weight, config_.timeslice_ticks);
-  tasks_.push_back(std::move(task));
-
-  int cpu;
-  if (config_.sched.energy_aware_placement) {
-    cpu = placement_.Place(*raw, *this, registry_);
-  } else {
-    cpu = PlaceLeastLoadedRandomTie();
-    // The baseline still needs a profile seed so balancing math is defined;
-    // stock Linux simply has no energy profile, which corresponds to seeding
-    // with the registry default (no per-binary knowledge).
-    raw->profile().Seed(registry_.default_power());
-  }
-  raw->set_timeslice_left(Task::TimesliceForNice(raw->nice(), config_.timeslice_ticks));
-  runqueue(cpu).Enqueue(raw);
-  return raw;
-}
-
-int Machine::PlaceLeastLoadedRandomTie() {
-  // Stock Linux 2.6 exec placement through the domain hierarchy: least
-  // loaded CPU, preferring an idle *package* over the idle sibling of a
-  // busy one (SMT-aware). Remaining ties break randomly, modelling the
-  // incidental state (exec'ing CPU, parent's cache) that decides in a real
-  // system, without biasing toward CPU 0.
-  std::size_t min_load = std::numeric_limits<std::size_t>::max();
-  for (std::size_t cpu = 0; cpu < num_cpus(); ++cpu) {
-    min_load = std::min(min_load, runqueue(static_cast<int>(cpu)).nr_running());
-  }
-  std::size_t min_package_load = std::numeric_limits<std::size_t>::max();
-  for (std::size_t cpu = 0; cpu < num_cpus(); ++cpu) {
-    if (runqueue(static_cast<int>(cpu)).nr_running() != min_load) {
-      continue;
-    }
-    std::size_t package_load = 0;
-    for (int sibling : config_.topology.SiblingsOf(static_cast<int>(cpu))) {
-      package_load += runqueue(sibling).nr_running();
-    }
-    min_package_load = std::min(min_package_load, package_load);
-  }
-  std::vector<int> candidates;
-  for (std::size_t cpu = 0; cpu < num_cpus(); ++cpu) {
-    if (runqueue(static_cast<int>(cpu)).nr_running() != min_load) {
-      continue;
-    }
-    std::size_t package_load = 0;
-    for (int sibling : config_.topology.SiblingsOf(static_cast<int>(cpu))) {
-      package_load += runqueue(sibling).nr_running();
-    }
-    if (package_load == min_package_load) {
-      candidates.push_back(static_cast<int>(cpu));
-    }
-  }
-  return candidates[rng_.NextBelow(candidates.size())];
-}
-
-bool Machine::MigrateTask(Task* task, int from, int to) {
-  if (from == to) {
-    return false;
-  }
-  Runqueue& src = runqueue(from);
-  Runqueue& dst = runqueue(to);
-
-  if (src.current() == task) {
-    CommitPeriod(*task);
-    src.TakeCurrent();
-  } else if (!src.Remove(task)) {
-    return false;
-  }
-
-  const bool crossed_node = !config_.topology.SameNode(from, to);
-  task->NoteMigration(crossed_node, crossed_node ? config_.warmup_ticks_cross_node
-                                                 : config_.warmup_ticks_same_node);
-  dst.Enqueue(task);
-  ++migration_count_;
-  return true;
-}
-
-void Machine::CommitPeriod(Task& task) {
-  const bool first = task.first_period_pending();
-  const Tick period = task.period_ticks();
-  const double energy = task.CommitAccountingPeriod();
-  if (first && period > 0) {
-    registry_.RecordFirstTimeslice(task.program().binary_id(),
-                                   energy / TicksToSeconds(period));
-  }
-}
-
-void Machine::WakeSleepers() {
-  for (auto& task : tasks_) {
-    if (task->state() == TaskState::kSleeping && task->wake_tick() <= now_) {
-      // Wake on the CPU the task last ran on (affinity).
-      runqueue(task->cpu()).EnqueueFront(task.get());
-    }
-  }
-}
-
-void Machine::SwitchInIfIdle(int cpu) {
-  Runqueue& rq = runqueue(cpu);
-  if (rq.current() != nullptr) {
-    return;
-  }
-  Task* next = rq.PickNext();
-  if (next != nullptr) {
-    next->set_timeslice_left(Task::TimesliceForNice(next->nice(), config_.timeslice_ticks));
-    next->BeginAccountingPeriod();
-  }
-}
-
-void Machine::ExecuteCpus() {
-  const std::size_t physical = config_.topology.num_physical();
-  const std::size_t siblings = config_.topology.smt_per_physical();
-  const double static_share = estimator_->static_power_per_logical();
-  const double idle_share = IdlePowerPerLogical();
-
-  for (std::size_t phys = 0; phys < physical; ++phys) {
-    // Thermal throttling is a package-level decision: only physical
-    // processors overheat, so the controller compares the sum of the sibling
-    // thermal powers against the package's maximum power and halts the whole
-    // package (hlt stops the core, not a logical thread).
-    bool throttled = false;
-    if (config_.throttling_enabled) {
-      double thermal_sum = 0.0;
-      for (std::size_t t = 0; t < siblings; ++t) {
-        thermal_sum += ThermalPower(config_.topology.LogicalId(phys, t));
-      }
-      throttled =
-          package_throttles_[phys].ShouldThrottle(thermal_sum, MaxPowerPhysical(phys));
-      package_throttles_[phys].AccountTick(throttled);
-    }
-
-    // Which siblings will actually execute this tick?
-    std::vector<int> active;
-    for (std::size_t t = 0; t < siblings; ++t) {
-      const int cpu = config_.topology.LogicalId(phys, t);
-      SwitchInIfIdle(cpu);
-      Runqueue& rq = runqueue(cpu);
-
-      const bool wants_to_run = rq.current() != nullptr;
-      if (config_.throttling_enabled) {
-        // Per-logical statistics (Table 3): a tick counts as throttled for a
-        // logical CPU when the package halt kept its task from running.
-        throttles_[static_cast<std::size_t>(cpu)].AccountTick(throttled && wants_to_run);
-      }
-      if (wants_to_run && !throttled) {
-        active.push_back(cpu);
-      }
-    }
-
-    const double corun_speed = active.size() >= 2 ? config_.smt_corun_speed : 1.0;
-    double true_dynamic = 0.0;
-
-    for (int cpu : active) {
-      Task* task = runqueue(cpu).current();
-      double speed = corun_speed;
-      if (task->warmup_ticks_left() > 0) {
-        speed *= config_.warmup_speed;
-      }
-      const EventVector events = task->ExecuteTick(speed);
-      counters_[static_cast<std::size_t>(cpu)].Accumulate(events);
-      true_dynamic += config_.model.DynamicEnergy(events);
-
-      // Estimated per-tick energy: what the kernel's estimator attributes.
-      const double estimated =
-          estimator_->EstimateDynamicEnergy(events) + static_share * kTickSeconds;
-      task->AccumulateEnergy(estimated);
-      task->AccountActiveTick();
-      task->TickTimeslice();
-      power_states_[static_cast<std::size_t>(cpu)].AccountEnergy(estimated, kTickSeconds);
-    }
-
-    // Inactive (idle or throttled) siblings burn their halt-power share.
-    for (std::size_t t = 0; t < siblings; ++t) {
-      const int cpu = config_.topology.LogicalId(phys, t);
-      bool is_active = false;
-      for (int a : active) {
-        if (a == cpu) {
-          is_active = true;
-        }
-      }
-      if (!is_active) {
-        power_states_[static_cast<std::size_t>(cpu)].AccountEnergy(idle_share * kTickSeconds,
-                                                                   kTickSeconds);
-      }
-    }
-
-    // True electrical power of the package this tick.
-    const double n_active = static_cast<double>(active.size());
-    const double n_total = static_cast<double>(siblings);
-    const double static_true =
-        active.empty()
-            ? config_.model.halt_power()
-            : config_.model.active_base_power() * (n_active / n_total) +
-                  config_.model.halt_power() * ((n_total - n_active) / n_total);
-    const double true_power = static_true + true_dynamic / kTickSeconds;
-    last_true_power_[phys] = true_power;
-    thermal_[phys].Step(true_power, kTickSeconds);
-
-    // Lifecycle: blocking, completion, timeslice expiry.
-    for (int cpu : active) {
-      HandleLifecycle(cpu);
-    }
-  }
-}
-
-void Machine::HandleLifecycle(int cpu) {
-  Runqueue& rq = runqueue(cpu);
-  Task* task = rq.current();
-  if (task == nullptr) {
-    return;
-  }
-
-  // Blocking (the task called a blocking syscall at the end of a burst).
-  const Tick sleep = task->TakePendingSleep();
-  if (sleep > 0) {
-    CommitPeriod(*task);
-    rq.TakeCurrent();
-    task->set_state(TaskState::kSleeping);
-    task->set_wake_tick(now_ + sleep);
-    return;
-  }
-
-  // Work completion.
-  if (task->WorkComplete()) {
-    CommitPeriod(*task);
-    if (config_.respawn_completed) {
-      task->RestartProgram();
-      // A respawned task models a fresh process of the same binary: it goes
-      // through placement again, seeded from the registry.
-      rq.TakeCurrent();
-      int cpu_new;
-      if (config_.sched.energy_aware_placement) {
-        cpu_new = placement_.Place(*task, *this, registry_);
-      } else {
-        cpu_new = PlaceLeastLoadedRandomTie();
-      }
-      task->set_timeslice_left(Task::TimesliceForNice(task->nice(), config_.timeslice_ticks));
-      runqueue(cpu_new).Enqueue(task);
-    } else {
-      rq.TakeCurrent();
-      task->set_state(TaskState::kFinished);
-    }
-    return;
-  }
-
-  // Timeslice expiry: rotate within the local queue.
-  if (task->timeslice_left() <= 0) {
-    CommitPeriod(*task);
-    task->set_timeslice_left(Task::TimesliceForNice(task->nice(), config_.timeslice_ticks));
-    if (rq.nr_queued() > 0) {
-      rq.TakeCurrent();
-      rq.Enqueue(task);
-    }
-    // Alone on the queue: keep running; the period was still committed so
-    // the profile and registry stay fresh.
-  }
-}
-
-void Machine::RunBalancers() {
-  const std::size_t logical = config_.topology.num_logical();
-  for (std::size_t i = 0; i < logical; ++i) {
-    const int cpu = static_cast<int>(i);
-    const Tick stagger = static_cast<Tick>(i) * 17;
-
-    const bool idle = runqueue(cpu).Idle();
-    const Tick interval =
-        idle ? config_.sched.idle_balance_interval_ticks : config_.sched.balance_interval_ticks;
-    if ((now_ + stagger) % interval == 0) {
-      if (!config_.sched.energy_balancing) {
-        load_balancer_.Balance(cpu, *this);
-      } else {
-        switch (config_.sched.balancer_kind) {
-          case BalancerKind::kLoadOnly:
-            load_balancer_.Balance(cpu, *this);
-            break;
-          case BalancerKind::kEnergyAware:
-            energy_balancer_.Balance(cpu, *this);
-            break;
-          case BalancerKind::kPowerOnly:
-            power_only_balancer_.Balance(cpu, *this);
-            break;
-          case BalancerKind::kTemperatureOnly:
-            temperature_only_balancer_.Balance(cpu, *this);
-            break;
-        }
-      }
-    }
-
-    if (config_.sched.hot_task_migration &&
-        (now_ + stagger) % config_.sched.hot_check_interval_ticks == 0) {
-      hot_migrator_.Check(cpu, *this);
-    }
-  }
-}
-
-void Machine::Step() {
-  WakeSleepers();
-  ExecuteCpus();
-  RunBalancers();
-  ++now_;
-}
+Machine::Machine(const MachineConfig& config) : state_(config), engine_(config.sched) {}
 
 void Machine::Run(Tick n) {
   for (Tick i = 0; i < n; ++i) {
     Step();
   }
-}
-
-double Machine::TotalWorkDone() const {
-  double total = 0.0;
-  for (const auto& task : tasks_) {
-    total += task->work_done_ticks() +
-             static_cast<double>(task->completions()) *
-                 static_cast<double>(task->program().total_work_ticks());
-  }
-  return total;
-}
-
-std::int64_t Machine::TotalCompletions() const {
-  std::int64_t total = 0;
-  for (const auto& task : tasks_) {
-    total += task->completions();
-  }
-  return total;
-}
-
-double Machine::TotalTaskEnergy() const {
-  double total = 0.0;
-  for (const auto& task : tasks_) {
-    total += task->total_energy();
-  }
-  return total;
 }
 
 }  // namespace eas

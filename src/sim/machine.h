@@ -1,14 +1,15 @@
-// The simulated multiprocessor machine.
+// The simulated multiprocessor machine - a facade over the layered engine.
 //
-// Ties every substrate together and stands in for the paper's IBM xSeries
-// 445 plus modified Linux kernel: per logical CPU runqueues, counters and
-// power metrics; per physical package RC thermal state and true power; the
-// scheduler tick (timeslices, blocking, wakeups); the balancing policies;
-// throttling; and all accounting the experiments report (migrations,
-// throttle fractions, throughput, traces).
+// Stands in for the paper's IBM xSeries 445 plus modified Linux kernel. The
+// state (runqueues, counters, power metrics, thermal models, tasks) lives in
+// SimulationState; the per-tick behaviour lives in the SimulationEngine's
+// phase components (sched_tick, throttle_gate, counter_sampler,
+// thermal_stepper) with balancing policies resolved by name through the
+// BalancePolicyRegistry. Machine wires the two together and keeps the
+// public surface the experiments, tests and tools program against.
 //
-// The machine implements BalanceEnv, so the policy code in src/sched and
-// src/core runs against it unchanged.
+// The machine implements BalanceEnv (by forwarding to its state), so the
+// policy code in src/sched and src/core runs against it unchanged.
 
 #ifndef SRC_SIM_MACHINE_H_
 #define SRC_SIM_MACHINE_H_
@@ -16,24 +17,17 @@
 #include <memory>
 #include <vector>
 
-#include "src/core/energy_balancer.h"
-#include "src/core/hot_task_migrator.h"
-#include "src/core/naive_balancers.h"
-#include "src/core/initial_placement.h"
-#include "src/core/power_metrics.h"
-#include "src/counters/counter_block.h"
-#include "src/counters/energy_estimator.h"
 #include "src/sched/balance_env.h"
-#include "src/sched/load_balancer.h"
 #include "src/sim/machine_config.h"
-#include "src/task/binary_registry.h"
-#include "src/thermal/rc_model.h"
-#include "src/thermal/throttle_controller.h"
+#include "src/sim/simulation_engine.h"
+#include "src/sim/simulation_state.h"
 
 namespace eas {
 
 class Machine : public BalanceEnv {
  public:
+  // Throws std::invalid_argument if the configured balancing policy name is
+  // not registered.
   explicit Machine(const MachineConfig& config);
 
   // --- workload management --------------------------------------------------
@@ -41,118 +35,85 @@ class Machine : public BalanceEnv {
   // Creates a task running `program` and places it (energy-aware placement
   // if enabled, least-loaded otherwise). Returns the task. `nice` scales the
   // task's timeslices (Task::TimesliceForNice).
-  Task* Spawn(const Program& program, int nice = 0);
+  Task* Spawn(const Program& program, int nice = 0) { return state_.Spawn(program, nice); }
 
   // Advances the machine by one tick.
-  void Step();
+  void Step() { engine_.Tick(state_); }
 
   // Advances by `n` ticks.
   void Run(Tick n);
 
-  Tick now() const { return now_; }
+  Tick now() const { return state_.now(); }
 
-  // --- BalanceEnv -------------------------------------------------------------
-  const CpuTopology& topology() const override { return config_.topology; }
-  const DomainHierarchy& domains() const override { return domains_; }
-  Runqueue& runqueue(int cpu) override { return *runqueues_[static_cast<std::size_t>(cpu)]; }
-  const Runqueue& runqueue(int cpu) const override {
-    return *runqueues_[static_cast<std::size_t>(cpu)];
+  // --- layered internals ----------------------------------------------------
+  SimulationState& state() { return state_; }
+  const SimulationState& state() const { return state_; }
+  SimulationEngine& engine() { return engine_; }
+
+  // --- BalanceEnv -----------------------------------------------------------
+  const CpuTopology& topology() const override { return state_.topology(); }
+  const DomainHierarchy& domains() const override { return state_.domains(); }
+  Runqueue& runqueue(int cpu) override { return state_.runqueue(cpu); }
+  const Runqueue& runqueue(int cpu) const override { return state_.runqueue(cpu); }
+  double RunqueuePower(int cpu) const override { return state_.RunqueuePower(cpu); }
+  double ThermalPower(int cpu) const override { return state_.ThermalPower(cpu); }
+  double MaxPower(int cpu) const override { return state_.MaxPower(cpu); }
+  bool MigrateTask(Task* task, int from, int to) override {
+    return state_.MigrateTask(task, from, to);
   }
-  double RunqueuePower(int cpu) const override;
-  double ThermalPower(int cpu) const override;
-  double MaxPower(int cpu) const override;
-  bool MigrateTask(Task* task, int from, int to) override;
-  std::int64_t migration_count() const override { return migration_count_; }
+  std::int64_t migration_count() const override { return state_.migration_count(); }
 
-  // --- observation -------------------------------------------------------------
-  std::size_t num_cpus() const { return config_.topology.num_logical(); }
-  std::size_t num_physical() const { return config_.topology.num_physical(); }
+  // --- observation ----------------------------------------------------------
+  std::size_t num_cpus() const { return state_.num_cpus(); }
+  std::size_t num_physical() const { return state_.num_physical(); }
 
   // True die temperature of a physical package (deg C).
-  double Temperature(std::size_t physical) const;
+  double Temperature(std::size_t physical) const { return state_.Temperature(physical); }
 
   // True electrical power of a physical package during the last tick (W).
-  double TruePower(std::size_t physical) const;
+  double TruePower(std::size_t physical) const { return state_.TruePower(physical); }
 
   // Throttle statistics of a logical CPU. A tick counts as throttled for a
   // logical CPU if its package was halted while the CPU had a task to run.
-  const ThrottleController& throttle(int cpu) const {
-    return throttles_[static_cast<std::size_t>(cpu)];
-  }
+  const ThrottleController& throttle(int cpu) const { return state_.throttle(cpu); }
 
   // Whether a physical package is currently halted by thermal control. Only
   // physical processors overheat (Section 4.7), so the decision compares the
   // sum of the sibling thermal powers against the package's maximum power.
   bool PackageThrottled(std::size_t physical) const {
-    return package_throttles_[physical].throttled();
+    return state_.package_throttle(physical).throttled();
   }
 
   // Idle (halted) power attributed to one logical CPU (W).
-  double IdlePowerPerLogical() const;
+  double IdlePowerPerLogical() const { return state_.IdlePowerPerLogical(); }
 
   // Maximum power of a physical package (W).
-  double MaxPowerPhysical(std::size_t physical) const;
+  double MaxPowerPhysical(std::size_t physical) const {
+    return state_.MaxPowerPhysical(physical);
+  }
 
   // Sum of work ticks executed by all tasks (the throughput numerator).
-  double TotalWorkDone() const;
+  double TotalWorkDone() const { return state_.TotalWorkDone(); }
 
   // Sum of program completions over all tasks.
-  std::int64_t TotalCompletions() const;
+  std::int64_t TotalCompletions() const { return state_.TotalCompletions(); }
 
   // Estimated total energy attributed to tasks so far (J).
-  double TotalTaskEnergy() const;
+  double TotalTaskEnergy() const { return state_.TotalTaskEnergy(); }
 
-  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
-  Task* task(std::size_t i) { return tasks_[i].get(); }
+  const std::vector<std::unique_ptr<Task>>& tasks() const { return state_.tasks(); }
+  Task* task(std::size_t i) { return state_.task(i); }
 
-  const BinaryRegistry& binary_registry() const { return registry_; }
-  const EnergyEstimator& estimator() const { return *estimator_; }
-  const MachineConfig& config() const { return config_; }
+  const BinaryRegistry& binary_registry() const { return state_.binary_registry(); }
+  const EnergyEstimator& estimator() const { return state_.estimator(); }
+  const MachineConfig& config() const { return state_.config(); }
 
   // Logical CPU a task occupies, or kInvalidCpu if sleeping/finished.
-  static int TaskCpu(const Task& task);
+  static int TaskCpu(const Task& task) { return SimulationState::TaskCpu(task); }
 
  private:
-  MachineConfig config_;
-  DomainHierarchy domains_;
-  Rng rng_;
-
-  std::vector<std::unique_ptr<Runqueue>> runqueues_;     // per logical
-  std::vector<CounterBlock> counters_;                   // per logical
-  std::vector<CpuPowerState> power_states_;              // per logical
-  std::vector<ThrottleController> throttles_;            // per logical (stats)
-  std::vector<ThrottleController> package_throttles_;    // per physical (decision)
-  std::vector<RcThermalModel> thermal_;                  // per physical
-  std::vector<double> last_true_power_;                  // per physical
-  std::vector<double> max_power_logical_;                // per logical
-
-  std::unique_ptr<EnergyEstimator> estimator_;
-  BinaryRegistry registry_;
-
-  LoadBalancer load_balancer_;
-  EnergyLoadBalancer energy_balancer_;
-  PowerOnlyBalancer power_only_balancer_;
-  TemperatureOnlyBalancer temperature_only_balancer_;
-  HotTaskMigrator hot_migrator_;
-  InitialPlacement placement_;
-
-  std::vector<std::unique_ptr<Task>> tasks_;
-  TaskId next_task_id_ = 1;
-  Tick now_ = 0;
-  std::int64_t migration_count_ = 0;
-
-  // Baseline exec placement: least loaded CPU, ties broken randomly.
-  int PlaceLeastLoadedRandomTie();
-
-  void WakeSleepers();
-  void SwitchInIfIdle(int cpu);
-  void ExecuteCpus();
-  void RunBalancers();
-  // Ends the current accounting period of `task` and feeds the binary
-  // registry on the task's first committed period.
-  void CommitPeriod(Task& task);
-  // Handles end-of-tick lifecycle for the current task of `cpu`.
-  void HandleLifecycle(int cpu);
+  SimulationState state_;
+  SimulationEngine engine_;
 };
 
 }  // namespace eas

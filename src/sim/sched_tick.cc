@@ -1,0 +1,102 @@
+#include "src/sim/sched_tick.h"
+
+namespace eas {
+
+void SchedTick::WakeSleepers(SimulationState& state) const {
+  for (const auto& task : state.tasks()) {
+    if (task->state() == TaskState::kSleeping && task->wake_tick() <= state.now()) {
+      // Wake on the CPU the task last ran on (affinity).
+      state.runqueue(task->cpu()).EnqueueFront(task.get());
+    }
+  }
+}
+
+void SchedTick::SwitchInPackage(SimulationState& state, std::size_t physical) const {
+  const std::size_t siblings = state.config().topology.smt_per_physical();
+  for (std::size_t t = 0; t < siblings; ++t) {
+    state.SwitchInIfIdle(state.config().topology.LogicalId(physical, t));
+  }
+}
+
+void SchedTick::SelectActive(const SimulationState& state, std::size_t physical, bool throttled,
+                             std::vector<int>& active) const {
+  active.clear();
+  if (throttled) {
+    return;
+  }
+  const std::size_t siblings = state.config().topology.smt_per_physical();
+  for (std::size_t t = 0; t < siblings; ++t) {
+    const int cpu = state.config().topology.LogicalId(physical, t);
+    if (state.runqueue(cpu).current() != nullptr) {
+      active.push_back(cpu);
+    }
+  }
+}
+
+void SchedTick::ExecuteActive(SimulationState& state, const std::vector<int>& active,
+                              std::vector<EventVector>& events) const {
+  const MachineConfig& config = state.config();
+  const double corun_speed = active.size() >= 2 ? config.smt_corun_speed : 1.0;
+  events.resize(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    Task* task = state.runqueue(active[i]).current();
+    double speed = corun_speed;
+    if (task->warmup_ticks_left() > 0) {
+      speed *= config.warmup_speed;
+    }
+    events[i] = task->ExecuteTick(speed);
+    task->AccountActiveTick();
+    task->TickTimeslice();
+  }
+}
+
+void SchedTick::HandleLifecycle(SimulationState& state, int cpu) const {
+  const MachineConfig& config = state.config();
+  Runqueue& rq = state.runqueue(cpu);
+  Task* task = rq.current();
+  if (task == nullptr) {
+    return;
+  }
+
+  // Blocking (the task called a blocking syscall at the end of a burst).
+  const Tick sleep = task->TakePendingSleep();
+  if (sleep > 0) {
+    state.CommitPeriod(*task);
+    rq.TakeCurrent();
+    task->set_state(TaskState::kSleeping);
+    task->set_wake_tick(state.now() + sleep);
+    return;
+  }
+
+  // Work completion.
+  if (task->WorkComplete()) {
+    state.CommitPeriod(*task);
+    if (config.respawn_completed) {
+      task->RestartProgram();
+      // A respawned task models a fresh process of the same binary: it goes
+      // through placement again, seeded from the registry.
+      rq.TakeCurrent();
+      const int cpu_new = state.PlaceTask(*task);
+      task->set_timeslice_left(Task::TimesliceForNice(task->nice(), config.timeslice_ticks));
+      state.runqueue(cpu_new).Enqueue(task);
+    } else {
+      rq.TakeCurrent();
+      task->set_state(TaskState::kFinished);
+    }
+    return;
+  }
+
+  // Timeslice expiry: rotate within the local queue.
+  if (task->timeslice_left() <= 0) {
+    state.CommitPeriod(*task);
+    task->set_timeslice_left(Task::TimesliceForNice(task->nice(), config.timeslice_ticks));
+    if (rq.nr_queued() > 0) {
+      rq.TakeCurrent();
+      rq.Enqueue(task);
+    }
+    // Alone on the queue: keep running; the period was still committed so
+    // the profile and registry stay fresh.
+  }
+}
+
+}  // namespace eas

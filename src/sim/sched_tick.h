@@ -1,0 +1,46 @@
+// Scheduler-tick phase: wakeups, switch-in, execution, and end-of-tick task
+// lifecycle (blocking, completion, timeslice expiry).
+//
+// This is the Linux-2.6 part of the per-tick pipeline - everything that
+// decides *which* task runs and for how long. Energy attribution is the
+// CounterSampler's job; this phase only advances tasks and emits their
+// counter events.
+
+#ifndef SRC_SIM_SCHED_TICK_H_
+#define SRC_SIM_SCHED_TICK_H_
+
+#include <vector>
+
+#include "src/counters/event_types.h"
+#include "src/sim/simulation_state.h"
+
+namespace eas {
+
+class SchedTick {
+ public:
+  // Moves every sleeping task whose wake tick has arrived back onto the
+  // runqueue it last ran on (wake affinity, Section 4.1).
+  void WakeSleepers(SimulationState& state) const;
+
+  // Switches in the next queued task on every idle sibling of `physical`.
+  void SwitchInPackage(SimulationState& state, std::size_t physical) const;
+
+  // Fills `active` with the logical CPUs of `physical` that execute this
+  // tick: those with a current task, unless the package is halted.
+  void SelectActive(const SimulationState& state, std::size_t physical, bool throttled,
+                    std::vector<int>& active) const;
+
+  // Executes one tick on each active CPU (SMT co-run and cache-warmup
+  // slowdowns applied) and decrements timeslices. `events[i]` receives the
+  // counter events of `active[i]`.
+  void ExecuteActive(SimulationState& state, const std::vector<int>& active,
+                     std::vector<EventVector>& events) const;
+
+  // End-of-tick lifecycle for `cpu`'s current task: start a blocking sleep,
+  // respawn or retire on completion, rotate on timeslice expiry.
+  void HandleLifecycle(SimulationState& state, int cpu) const;
+};
+
+}  // namespace eas
+
+#endif  // SRC_SIM_SCHED_TICK_H_

@@ -1,0 +1,71 @@
+#include "src/sim/simulation_engine.h"
+
+#include <algorithm>
+
+#include "src/core/policy_registry.h"
+
+namespace eas {
+
+BalancePhase::BalancePhase(const EnergySchedConfig& sched)
+    : sched_(sched),
+      policy_(BalancePolicyRegistry::Global().CreateOrThrow(EffectiveBalancerName(sched), sched)),
+      hot_migrator_(sched.hot_migration) {}
+
+void BalancePhase::Run(SimulationState& state) {
+  const EnergySchedConfig& sched = sched_;
+  const std::size_t logical = state.config().topology.num_logical();
+  for (std::size_t i = 0; i < logical; ++i) {
+    const int cpu = static_cast<int>(i);
+    const Tick stagger = static_cast<Tick>(i) * 17;
+
+    const bool idle = state.runqueue(cpu).Idle();
+    const Tick interval =
+        idle ? sched.idle_balance_interval_ticks : sched.balance_interval_ticks;
+    if ((state.now() + stagger) % interval == 0) {
+      policy_->Balance(cpu, state);
+    }
+
+    if (sched.hot_task_migration &&
+        (state.now() + stagger) % sched.hot_check_interval_ticks == 0) {
+      hot_migrator_.Check(cpu, state);
+    }
+  }
+}
+
+SimulationEngine::SimulationEngine(const EnergySchedConfig& sched) : balance_(sched) {}
+
+void SimulationEngine::Tick(SimulationState& state) {
+  sched_tick_.WakeSleepers(state);
+
+  const std::size_t physical = state.num_physical();
+  for (std::size_t phys = 0; phys < physical; ++phys) {
+    const bool throttled = throttle_gate_.GatePackage(state, phys);
+    sched_tick_.SwitchInPackage(state, phys);
+    throttle_gate_.AccountCpuTicks(state, phys, throttled);
+    sched_tick_.SelectActive(state, phys, throttled, active_);
+    sched_tick_.ExecuteActive(state, active_, events_);
+    const double true_dynamic = counter_sampler_.Sample(state, phys, active_, events_);
+    thermal_stepper_.StepPackage(state, phys, active_.size(), true_dynamic);
+    for (int cpu : active_) {
+      sched_tick_.HandleLifecycle(state, cpu);
+    }
+  }
+
+  balance_.Run(state);
+  state.AdvanceTick();
+
+  for (TickObserver* observer : observers_) {
+    observer->OnTick(state);
+  }
+}
+
+void SimulationEngine::AddObserver(TickObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void SimulationEngine::RemoveObserver(TickObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+}  // namespace eas

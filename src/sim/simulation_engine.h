@@ -1,0 +1,94 @@
+// The per-tick pipeline, orchestrating the phase components.
+//
+// One engine tick reproduces the paper's modified kernel tick:
+//
+//   1. SchedTick::WakeSleepers     - expired sleeps re-enter their runqueues
+//   2. per physical package:
+//      a. ThrottleGate::GatePackage    - hlt decision on summed thermal power
+//      b. SchedTick::SwitchInPackage   - idle siblings pick their next task
+//      c. ThrottleGate::AccountCpuTicks- Table 3 statistics
+//      d. SchedTick::SelectActive / ExecuteActive - run tasks, emit events
+//      e. CounterSampler::Sample       - counters, estimator, energy metrics
+//      f. ThermalStepper::StepPackage  - true power, RC temperature step
+//      g. SchedTick::HandleLifecycle   - blocking / completion / expiry
+//   3. BalancePhase::Run           - the registry-selected policy plus hot
+//                                    task migration, on their intervals
+//   4. tick counter advance, then TickObservers (accounting, tracing)
+//
+// The engine holds no machine state; everything lives in SimulationState,
+// so phases are individually testable and engines are cheap.
+
+#ifndef SRC_SIM_SIMULATION_ENGINE_H_
+#define SRC_SIM_SIMULATION_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/hot_task_migrator.h"
+#include "src/sched/balance_policy.h"
+#include "src/sim/counter_sampler.h"
+#include "src/sim/sched_tick.h"
+#include "src/sim/simulation_state.h"
+#include "src/sim/thermal_stepper.h"
+#include "src/sim/throttle_gate.h"
+
+namespace eas {
+
+// Observes completed engine ticks (e.g. the accounting that records the
+// experiment traces). Observers run after the tick counter has advanced.
+class TickObserver {
+ public:
+  virtual ~TickObserver() = default;
+  virtual void OnTick(const SimulationState& state) = 0;
+};
+
+// Periodic balancing: runs the policy selected by name through the
+// BalancePolicyRegistry, plus hot task migration, each on its interval with
+// per-CPU stagger. The phase is configured entirely by the sched config it
+// was constructed with (policy, options, cadence) - the state it runs over
+// only provides machine state, so an engine never silently mixes its own
+// policy with a foreign state's cadence.
+class BalancePhase {
+ public:
+  // Resolves the policy via BalancePolicyRegistry::Global(); throws
+  // std::invalid_argument for an unknown policy name.
+  explicit BalancePhase(const EnergySchedConfig& sched);
+
+  void Run(SimulationState& state);
+
+  const BalancePolicy& policy() const { return *policy_; }
+
+ private:
+  EnergySchedConfig sched_;
+  std::unique_ptr<BalancePolicy> policy_;
+  HotTaskMigrator hot_migrator_;
+};
+
+class SimulationEngine {
+ public:
+  explicit SimulationEngine(const EnergySchedConfig& sched);
+
+  // Advances `state` by one tick through the full pipeline.
+  void Tick(SimulationState& state);
+
+  void AddObserver(TickObserver* observer);
+  void RemoveObserver(TickObserver* observer);
+
+  const BalancePolicy& policy() const { return balance_.policy(); }
+
+ private:
+  SchedTick sched_tick_;
+  ThrottleGate throttle_gate_;
+  CounterSampler counter_sampler_;
+  ThermalStepper thermal_stepper_;
+  BalancePhase balance_;
+  std::vector<TickObserver*> observers_;
+
+  // Per-tick scratch, reused across packages to avoid reallocation.
+  std::vector<int> active_;
+  std::vector<EventVector> events_;
+};
+
+}  // namespace eas
+
+#endif  // SRC_SIM_SIMULATION_ENGINE_H_

@@ -1,0 +1,221 @@
+#include "src/sim/simulation_state.h"
+
+#include <cassert>
+#include <limits>
+
+#include "src/counters/calibration.h"
+
+namespace eas {
+
+SimulationState::SimulationState(const MachineConfig& config)
+    : config_(config),
+      domains_(DomainHierarchy::Build(config.topology)),
+      rng_(config.seed) {
+  const std::size_t logical = config_.topology.num_logical();
+  const std::size_t physical = config_.topology.num_physical();
+  const std::size_t siblings = config_.topology.smt_per_physical();
+  assert(config_.cooling.num_physical() >= physical);
+
+  // Calibrated estimator: either injected weights or a fresh calibration run
+  // against the machine's power meter (the realistic path).
+  EventWeights weights;
+  if (config_.estimator_weights.has_value()) {
+    weights = *config_.estimator_weights;
+  } else {
+    weights = Calibrator::CalibrateDefault(config_.model, config_.seed ^ 0xca11b7a7eULL,
+                                           config_.meter_error_stddev)
+                  .weights;
+  }
+  estimator_ = std::make_unique<EnergyEstimator>(
+      weights, config_.model.active_base_power() / static_cast<double>(siblings));
+
+  const double idle_logical = IdlePowerPerLogical();
+  for (std::size_t cpu = 0; cpu < logical; ++cpu) {
+    const std::size_t phys = config_.topology.PhysicalOf(static_cast<int>(cpu));
+    const ThermalParams& params = config_.cooling.ParamsFor(phys);
+    double max_physical;
+    if (config_.explicit_max_power_physical.has_value()) {
+      max_physical = *config_.explicit_max_power_physical;
+    } else {
+      max_physical = params.MaxPowerForTemp(config_.temp_limit);
+    }
+    max_power_logical_.push_back(max_physical / static_cast<double>(siblings));
+    runqueues_.push_back(std::make_unique<Runqueue>(static_cast<int>(cpu)));
+    counters_.emplace_back();
+    power_states_.emplace_back(max_power_logical_.back(), params.TimeConstant(), idle_logical);
+    throttles_.emplace_back(config_.throttle_hysteresis_watts);
+  }
+  for (std::size_t phys = 0; phys < physical; ++phys) {
+    thermal_.emplace_back(config_.cooling.ParamsFor(phys));
+    last_true_power_.push_back(config_.model.halt_power());
+    package_throttles_.emplace_back(config_.throttle_hysteresis_watts);
+  }
+}
+
+double SimulationState::IdlePowerPerLogical() const {
+  return config_.model.halt_power() / static_cast<double>(config_.topology.smt_per_physical());
+}
+
+double SimulationState::MaxPowerPhysical(std::size_t physical) const {
+  const int first_logical = config_.topology.LogicalId(physical, 0);
+  return max_power_logical_[static_cast<std::size_t>(first_logical)] *
+         static_cast<double>(config_.topology.smt_per_physical());
+}
+
+double SimulationState::RunqueuePower(int cpu) const {
+  return runqueues_[static_cast<std::size_t>(cpu)]->AveragePower(IdlePowerPerLogical());
+}
+
+double SimulationState::ThermalPower(int cpu) const {
+  return power_states_[static_cast<std::size_t>(cpu)].thermal_power();
+}
+
+double SimulationState::MaxPower(int cpu) const {
+  return max_power_logical_[static_cast<std::size_t>(cpu)];
+}
+
+int SimulationState::TaskCpu(const Task& task) {
+  if (task.state() == TaskState::kSleeping || task.state() == TaskState::kFinished) {
+    return kInvalidCpu;
+  }
+  return task.cpu();
+}
+
+Task* SimulationState::Spawn(const Program& program, int nice) {
+  auto task = std::make_unique<Task>(next_task_id_++, &program, rng_.NextU64());
+  Task* raw = task.get();
+  raw->set_nice(nice);
+  // The profile's standard period stays the nice-0 timeslice for every task:
+  // the variable-period exponential average normalizes any actual period
+  // length (Section 3.3), so profiles of tasks with different priorities
+  // remain comparable.
+  raw->profile() = EnergyProfile(config_.profile_sample_weight, config_.timeslice_ticks);
+  tasks_.push_back(std::move(task));
+
+  const int cpu = PlaceTask(*raw);
+  if (!config_.sched.energy_aware_placement) {
+    // The baseline still needs a profile seed so balancing math is defined;
+    // stock Linux simply has no energy profile, which corresponds to seeding
+    // with the registry default (no per-binary knowledge).
+    raw->profile().Seed(registry_.default_power());
+  }
+  raw->set_timeslice_left(Task::TimesliceForNice(raw->nice(), config_.timeslice_ticks));
+  runqueue(cpu).Enqueue(raw);
+  return raw;
+}
+
+int SimulationState::PlaceTask(Task& task) {
+  if (config_.sched.energy_aware_placement) {
+    return placement_.Place(task, *this, registry_);
+  }
+  return PlaceLeastLoadedRandomTie();
+}
+
+int SimulationState::PlaceLeastLoadedRandomTie() {
+  // Stock Linux 2.6 exec placement through the domain hierarchy: least
+  // loaded CPU, preferring an idle *package* over the idle sibling of a
+  // busy one (SMT-aware). Remaining ties break randomly, modelling the
+  // incidental state (exec'ing CPU, parent's cache) that decides in a real
+  // system, without biasing toward CPU 0.
+  std::size_t min_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t cpu = 0; cpu < num_cpus(); ++cpu) {
+    min_load = std::min(min_load, runqueue(static_cast<int>(cpu)).nr_running());
+  }
+  std::size_t min_package_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t cpu = 0; cpu < num_cpus(); ++cpu) {
+    if (runqueue(static_cast<int>(cpu)).nr_running() != min_load) {
+      continue;
+    }
+    std::size_t package_load = 0;
+    for (int sibling : config_.topology.SiblingsOf(static_cast<int>(cpu))) {
+      package_load += runqueue(sibling).nr_running();
+    }
+    min_package_load = std::min(min_package_load, package_load);
+  }
+  std::vector<int> candidates;
+  for (std::size_t cpu = 0; cpu < num_cpus(); ++cpu) {
+    if (runqueue(static_cast<int>(cpu)).nr_running() != min_load) {
+      continue;
+    }
+    std::size_t package_load = 0;
+    for (int sibling : config_.topology.SiblingsOf(static_cast<int>(cpu))) {
+      package_load += runqueue(sibling).nr_running();
+    }
+    if (package_load == min_package_load) {
+      candidates.push_back(static_cast<int>(cpu));
+    }
+  }
+  return candidates[rng_.NextBelow(candidates.size())];
+}
+
+bool SimulationState::MigrateTask(Task* task, int from, int to) {
+  if (from == to) {
+    return false;
+  }
+  Runqueue& src = runqueue(from);
+  Runqueue& dst = runqueue(to);
+
+  if (src.current() == task) {
+    CommitPeriod(*task);
+    src.TakeCurrent();
+  } else if (!src.Remove(task)) {
+    return false;
+  }
+
+  const bool crossed_node = !config_.topology.SameNode(from, to);
+  task->NoteMigration(crossed_node, crossed_node ? config_.warmup_ticks_cross_node
+                                                 : config_.warmup_ticks_same_node);
+  dst.Enqueue(task);
+  ++migration_count_;
+  return true;
+}
+
+void SimulationState::CommitPeriod(Task& task) {
+  const bool first = task.first_period_pending();
+  const Tick period = task.period_ticks();
+  const double energy = task.CommitAccountingPeriod();
+  if (first && period > 0) {
+    registry_.RecordFirstTimeslice(task.program().binary_id(),
+                                   energy / TicksToSeconds(period));
+  }
+}
+
+void SimulationState::SwitchInIfIdle(int cpu) {
+  Runqueue& rq = runqueue(cpu);
+  if (rq.current() != nullptr) {
+    return;
+  }
+  Task* next = rq.PickNext();
+  if (next != nullptr) {
+    next->set_timeslice_left(Task::TimesliceForNice(next->nice(), config_.timeslice_ticks));
+    next->BeginAccountingPeriod();
+  }
+}
+
+double SimulationState::TotalWorkDone() const {
+  double total = 0.0;
+  for (const auto& task : tasks_) {
+    total += task->work_done_ticks() +
+             static_cast<double>(task->completions()) *
+                 static_cast<double>(task->program().total_work_ticks());
+  }
+  return total;
+}
+
+std::int64_t SimulationState::TotalCompletions() const {
+  std::int64_t total = 0;
+  for (const auto& task : tasks_) {
+    total += task->completions();
+  }
+  return total;
+}
+
+double SimulationState::TotalTaskEnergy() const {
+  double total = 0.0;
+  for (const auto& task : tasks_) {
+    total += task->total_energy();
+  }
+  return total;
+}
+
+}  // namespace eas

@@ -1,0 +1,141 @@
+// The mutable state of one simulated machine, shared by the engine's phase
+// components.
+//
+// SimulationState owns what the paper's modified kernel owns: per logical
+// CPU runqueues, counters, power metrics and throttle statistics; per
+// physical package RC thermal state, true power and the throttle decision;
+// the calibrated estimator; the binary registry; and the task table. It
+// implements BalanceEnv, so every balancing policy runs against it
+// unchanged. The per-tick *behaviour* lives in the phase components
+// (sched_tick, throttle_gate, counter_sampler, thermal_stepper) orchestrated
+// by the SimulationEngine; state-owned helpers here are the primitives more
+// than one phase needs (placement, period commit, migration).
+
+#ifndef SRC_SIM_SIMULATION_STATE_H_
+#define SRC_SIM_SIMULATION_STATE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/initial_placement.h"
+#include "src/core/power_metrics.h"
+#include "src/counters/counter_block.h"
+#include "src/counters/energy_estimator.h"
+#include "src/sched/balance_env.h"
+#include "src/sim/machine_config.h"
+#include "src/task/binary_registry.h"
+#include "src/thermal/rc_model.h"
+#include "src/thermal/throttle_controller.h"
+
+namespace eas {
+
+class SimulationState : public BalanceEnv {
+ public:
+  explicit SimulationState(const MachineConfig& config);
+
+  // --- BalanceEnv -----------------------------------------------------------
+  const CpuTopology& topology() const override { return config_.topology; }
+  const DomainHierarchy& domains() const override { return domains_; }
+  Runqueue& runqueue(int cpu) override { return *runqueues_[static_cast<std::size_t>(cpu)]; }
+  const Runqueue& runqueue(int cpu) const override {
+    return *runqueues_[static_cast<std::size_t>(cpu)];
+  }
+  double RunqueuePower(int cpu) const override;
+  double ThermalPower(int cpu) const override;
+  double MaxPower(int cpu) const override;
+  bool MigrateTask(Task* task, int from, int to) override;
+  std::int64_t migration_count() const override { return migration_count_; }
+
+  // --- workload -------------------------------------------------------------
+
+  // Creates a task running `program` and places it (energy-aware placement
+  // if enabled, least-loaded otherwise).
+  Task* Spawn(const Program& program, int nice);
+
+  // Placement for a (re)spawned task per the configured policy: energy-aware
+  // placement seeds the profile from the binary registry; the baseline picks
+  // the least loaded CPU with random tie-break and leaves the profile alone.
+  int PlaceTask(Task& task);
+
+  // Ends the current accounting period of `task` and feeds the binary
+  // registry on the task's first committed period.
+  void CommitPeriod(Task& task);
+
+  // If `cpu` has no current task, switches in the next queued one.
+  void SwitchInIfIdle(int cpu);
+
+  // --- derived quantities ---------------------------------------------------
+  std::size_t num_cpus() const { return config_.topology.num_logical(); }
+  std::size_t num_physical() const { return config_.topology.num_physical(); }
+  double IdlePowerPerLogical() const;
+  double MaxPowerPhysical(std::size_t physical) const;
+  double Temperature(std::size_t physical) const { return thermal_[physical].temperature(); }
+  double TruePower(std::size_t physical) const { return last_true_power_[physical]; }
+  double TotalWorkDone() const;
+  std::int64_t TotalCompletions() const;
+  double TotalTaskEnergy() const;
+
+  // Logical CPU a task occupies, or kInvalidCpu if sleeping/finished.
+  static int TaskCpu(const Task& task);
+
+  // --- raw state (the phase components work on these) -----------------------
+  const MachineConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+  Tick now() const { return now_; }
+  void AdvanceTick() { ++now_; }
+
+  CounterBlock& counters(int cpu) { return counters_[static_cast<std::size_t>(cpu)]; }
+  CpuPowerState& power_state(int cpu) { return power_states_[static_cast<std::size_t>(cpu)]; }
+  ThrottleController& throttle(int cpu) { return throttles_[static_cast<std::size_t>(cpu)]; }
+  const ThrottleController& throttle(int cpu) const {
+    return throttles_[static_cast<std::size_t>(cpu)];
+  }
+  ThrottleController& package_throttle(std::size_t physical) {
+    return package_throttles_[physical];
+  }
+  const ThrottleController& package_throttle(std::size_t physical) const {
+    return package_throttles_[physical];
+  }
+  RcThermalModel& thermal(std::size_t physical) { return thermal_[physical]; }
+  void set_true_power(std::size_t physical, double watts) {
+    last_true_power_[physical] = watts;
+  }
+
+  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+  Task* task(std::size_t i) { return tasks_[i].get(); }
+
+  const BinaryRegistry& binary_registry() const { return registry_; }
+  BinaryRegistry& binary_registry() { return registry_; }
+  const EnergyEstimator& estimator() const { return *estimator_; }
+
+ private:
+  // Baseline exec placement: least loaded CPU, preferring an idle package,
+  // remaining ties broken randomly.
+  int PlaceLeastLoadedRandomTie();
+
+  MachineConfig config_;
+  DomainHierarchy domains_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<Runqueue>> runqueues_;   // per logical
+  std::vector<CounterBlock> counters_;                 // per logical
+  std::vector<CpuPowerState> power_states_;            // per logical
+  std::vector<ThrottleController> throttles_;          // per logical (stats)
+  std::vector<ThrottleController> package_throttles_;  // per physical (decision)
+  std::vector<RcThermalModel> thermal_;                // per physical
+  std::vector<double> last_true_power_;                // per physical
+  std::vector<double> max_power_logical_;              // per logical
+
+  std::unique_ptr<EnergyEstimator> estimator_;
+  BinaryRegistry registry_;
+  InitialPlacement placement_;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  TaskId next_task_id_ = 1;
+  Tick now_ = 0;
+  std::int64_t migration_count_ = 0;
+};
+
+}  // namespace eas
+
+#endif  // SRC_SIM_SIMULATION_STATE_H_

@@ -1,0 +1,20 @@
+#include "src/sim/thermal_stepper.h"
+
+namespace eas {
+
+void ThermalStepper::StepPackage(SimulationState& state, std::size_t physical,
+                                 std::size_t active_count, double true_dynamic) const {
+  const EnergyModel& model = state.config().model;
+  const double n_active = static_cast<double>(active_count);
+  const double n_total = static_cast<double>(state.config().topology.smt_per_physical());
+  const double static_true =
+      active_count == 0
+          ? model.halt_power()
+          : model.active_base_power() * (n_active / n_total) +
+                model.halt_power() * ((n_total - n_active) / n_total);
+  const double true_power = static_true + true_dynamic / kTickSeconds;
+  state.set_true_power(physical, true_power);
+  state.thermal(physical).Step(true_power, kTickSeconds);
+}
+
+}  // namespace eas

@@ -1,0 +1,33 @@
+#include "src/sim/throttle_gate.h"
+
+namespace eas {
+
+bool ThrottleGate::GatePackage(SimulationState& state, std::size_t physical) const {
+  if (!state.config().throttling_enabled) {
+    return false;
+  }
+  const std::size_t siblings = state.config().topology.smt_per_physical();
+  double thermal_sum = 0.0;
+  for (std::size_t t = 0; t < siblings; ++t) {
+    thermal_sum += state.ThermalPower(state.config().topology.LogicalId(physical, t));
+  }
+  const bool throttled = state.package_throttle(physical).ShouldThrottle(
+      thermal_sum, state.MaxPowerPhysical(physical));
+  state.package_throttle(physical).AccountTick(throttled);
+  return throttled;
+}
+
+void ThrottleGate::AccountCpuTicks(SimulationState& state, std::size_t physical,
+                                   bool throttled) const {
+  if (!state.config().throttling_enabled) {
+    return;
+  }
+  const std::size_t siblings = state.config().topology.smt_per_physical();
+  for (std::size_t t = 0; t < siblings; ++t) {
+    const int cpu = state.config().topology.LogicalId(physical, t);
+    const bool wants_to_run = state.runqueue(cpu).current() != nullptr;
+    state.throttle(cpu).AccountTick(throttled && wants_to_run);
+  }
+}
+
+}  // namespace eas

@@ -111,6 +111,12 @@ class Task {
   // uses this to record the first-timeslice energy in the binary registry.
   bool first_period_pending() const { return first_period_pending_; }
 
+  // Profile power recorded when the task was enqueued - the contribution the
+  // owning Runqueue added to its incremental queued-power sum, so removal
+  // subtracts exactly what was added. Maintained by Runqueue only.
+  double enqueued_power() const { return enqueued_power_; }
+  void set_enqueued_power(double watts) { enqueued_power_ = watts; }
+
   // --- migration bookkeeping ----------------------------------------------
   void NoteMigration(bool crossed_node, Tick warmup_ticks);
   Tick warmup_ticks_left() const { return warmup_ticks_left_; }
@@ -135,6 +141,7 @@ class Task {
   Tick timeslice_left_ = kDefaultTimesliceTicks;
 
   EnergyProfile profile_;
+  double enqueued_power_ = 0.0;
   double period_energy_ = 0.0;
   Tick period_ticks_ = 0;
   double total_energy_ = 0.0;

@@ -8,7 +8,8 @@
 //   eastool --policy eas --workload hot:1 --max-power 40 --throttle
 //           --trace-csv thermal.csv --summary-csv summary.csv
 //
-// Policies: baseline | eas | power-only | temp-only
+// Policies: baseline | eas | power-only | temp-only, or any name registered
+// in the BalancePolicyRegistry (see --policy handling below).
 // Workloads: mixed:<instances> | homog:<memrw>,<pushpop>,<bitcnts> | hot:<n>
 //            | short:<n>
 
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "src/base/flags.h"
+#include "src/core/policy_registry.h"
 #include "src/sim/csv_export.h"
 #include "src/sim/experiment.h"
 #include "src/workloads/programs.h"
@@ -29,7 +31,8 @@ void PrintUsage() {
   std::printf(
       "usage: eastool [flags]\n"
       "  --topology N:P:S    nodes : physical-per-node : smt (default 2:4:1)\n"
-      "  --policy NAME       baseline | eas | power-only | temp-only (default eas)\n"
+      "  --policy NAME       baseline | eas | power-only | temp-only, or any\n"
+      "                      BalancePolicyRegistry name (default eas)\n"
       "  --workload SPEC     mixed:<inst> | homog:<m>,<p>,<b> | hot:<n> | short:<n>\n"
       "  --duration-s SEC    simulated seconds (default 120)\n"
       "  --max-power W       explicit per-package power limit\n"
@@ -86,8 +89,16 @@ int main(int argc, char** argv) {
   } else if (policy == "temp-only") {
     config.sched = eas::EnergySchedConfig::EnergyAware();
     config.sched.balancer_kind = eas::BalancerKind::kTemperatureOnly;
+  } else if (eas::BalancePolicyRegistry::Global().Contains(policy)) {
+    // Any registered balancing policy is selectable by its registry name.
+    config.sched = eas::EnergySchedConfig::EnergyAware();
+    config.sched.balancer_name = policy;
   } else {
-    std::fprintf(stderr, "unknown --policy %s\n", policy.c_str());
+    std::fprintf(stderr, "unknown --policy %s (registered:", policy.c_str());
+    for (const std::string& name : eas::BalancePolicyRegistry::Global().Names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
     return 1;
   }
 
