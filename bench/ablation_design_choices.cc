@@ -49,7 +49,7 @@ int main() {
     spec.name = name;
     spec.config = config;
     spec.options.duration_ticks = duration;
-    spec.programs = workload;
+    spec.workload = workload;
     specs.push_back(std::move(spec));
   };
 

@@ -52,7 +52,7 @@ int main() {
       spec.name = label + (energy_aware ? "/eas" : "/base");
       spec.config = Config(energy_aware, limit);
       spec.options.duration_ticks = duration;
-      spec.programs = workload;
+      spec.workload = workload;
       specs.push_back(std::move(spec));
     }
   };

@@ -36,7 +36,7 @@ eas::ExperimentSpec Spec(const eas::ProgramLibrary& library, bool smt, bool ener
   spec.config = Config(smt, energy_aware);
   spec.options.duration_ticks = duration;
   spec.options.sample_interval_ticks = 2'000;
-  spec.programs = eas::MixedWorkload(library, smt ? 6 : 3);
+  spec.workload = eas::MixedWorkload(library, smt ? 6 : 3);
   return spec;
 }
 

@@ -62,7 +62,7 @@ int main() {
                     std::to_string(hot) + (energy_aware ? "/eas" : "/base");
         spec.config = Config(energy_aware, seed);
         spec.options.duration_ticks = duration;
-        spec.programs = workload;
+        spec.workload = workload;
         specs.push_back(std::move(spec));
       }
     }

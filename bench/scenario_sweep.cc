@@ -1,0 +1,88 @@
+// Scenario x policy sweep: every registered scenario under every registered
+// balancing policy, fanned through the parallel ExperimentRunner. The
+// cross-product is the "does every workload still behave" regression net -
+// run it per change and compare the BENCH_scenarios.json it writes.
+//
+//   $ bench_scenario_sweep [--duration=40000] [--threads=0] [--out=BENCH_scenarios.json]
+//
+// --duration overrides every scenario's tick count (0 keeps each scenario's
+// own, paper-length duration).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/flags.h"
+#include "src/core/policy_registry.h"
+#include "src/sim/csv_export.h"
+#include "src/sim/scenario.h"
+
+int main(int argc, char** argv) {
+  const eas::FlagParser flags(argc, argv);
+  const eas::Tick duration = flags.GetInt("duration", 40'000);
+  const std::size_t threads =
+      static_cast<std::size_t>(std::max(0LL, flags.GetInt("threads", 0)));
+  const std::string out = flags.GetString("out", "BENCH_scenarios.json");
+
+  const std::vector<std::string> scenarios = eas::ScenarioRegistry::Global().Names();
+  const std::vector<std::string> policies = eas::BalancePolicyRegistry::Global().Names();
+
+  std::vector<eas::ExperimentSpec> specs;
+  specs.reserve(scenarios.size() * policies.size());
+  for (const std::string& scenario : scenarios) {
+    for (const std::string& policy : policies) {
+      eas::ExperimentSpec spec =
+          eas::ScenarioRegistry::Global().BuildOrThrow(scenario).ToExperimentSpec();
+      spec.name = scenario + "/" + policy;
+      spec.config.sched = eas::SchedConfigForPolicy(policy);
+      if (duration > 0) {
+        spec.options.duration_ticks = duration;
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  std::printf("== scenario sweep: %zu scenarios x %zu policies ==\n\n", scenarios.size(),
+              policies.size());
+  const eas::ExperimentRunner runner(threads);
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<eas::RunResult> results = runner.RunAll(specs);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  std::string json = "{\n  \"bench\": \"scenario_sweep\",\n";
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"duration_ticks\": %lld,\n  \"threads\": %zu,\n"
+                "  \"wall_seconds\": %.4f,\n  \"runs\": [\n",
+                static_cast<long long>(duration), runner.num_threads(), elapsed);
+  json += buffer;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const eas::RunResult& result = results[i];
+    std::printf("  %-40s %9.1f work-ticks/s  %5lld migr  %5.2f%% throttled\n",
+                specs[i].name.c_str(), result.Throughput(),
+                static_cast<long long>(result.migrations),
+                result.AverageThrottledFraction() * 100);
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"name\": \"%s\", \"throughput\": %.2f, \"migrations\": %lld,\n"
+                  "     \"completions\": %lld, \"avg_throttled_fraction\": %.4f,\n"
+                  "     \"peak_thermal_w\": %.2f, \"steady_spread_w\": %.2f}%s\n",
+                  specs[i].name.c_str(), result.Throughput(),
+                  static_cast<long long>(result.migrations),
+                  static_cast<long long>(result.completions), result.AverageThrottledFraction(),
+                  result.thermal_power.MaxValue(),
+                  result.MaxThermalSpreadAfter(specs[i].options.duration_ticks / 2),
+                  i + 1 < specs.size() ? "," : "");
+    json += buffer;
+  }
+  json += "  ]\n}\n";
+
+  if (!eas::WriteFile(out, json)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%.1f s wall)\n", out.c_str(), elapsed);
+  return 0;
+}

@@ -32,7 +32,7 @@ std::vector<eas::ExperimentSpec> MakeSweep(const eas::ProgramLibrary& library, i
   base.config.explicit_max_power_physical = 60.0;
   base.config.estimator_weights = eas::EnergyModel::Default().weights();
   base.options.duration_ticks = duration;
-  base.programs = eas::MixedWorkload(library, 2);
+  base.workload = eas::MixedWorkload(library, 2);
   return eas::ExperimentRunner::SeedSweep(base, static_cast<std::size_t>(runs));
 }
 

@@ -1,0 +1,79 @@
+# eastool smoke test, run by ctest (see the tests section of the root
+# CMakeLists): one scenario end to end with both CSV outputs parsed
+# non-empty, plus the CLI rejection paths (bad topology, unknown policy,
+# unknown scenario) exiting non-zero.
+#
+# Variables: EASTOOL (path to the binary), OUT_DIR (writable scratch dir).
+
+function(run_expect_failure description)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE result OUTPUT_QUIET ERROR_VARIABLE stderr)
+  if(result EQUAL 0)
+    message(FATAL_ERROR "${description}: expected a non-zero exit, got success")
+  endif()
+  if(stderr STREQUAL "")
+    message(FATAL_ERROR "${description}: rejected silently (no stderr diagnostic)")
+  endif()
+endfunction()
+
+set(trace_csv ${OUT_DIR}/eastool_smoke_trace.csv)
+set(summary_csv ${OUT_DIR}/eastool_smoke_summary.csv)
+file(REMOVE ${trace_csv} ${summary_csv})
+
+# --- happy path: one scenario through the parallel runner ---------------------
+execute_process(
+  COMMAND ${EASTOOL} --scenario phase-shift --duration-s 20
+          --trace-csv ${trace_csv} --summary-csv ${summary_csv}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "eastool --scenario phase-shift failed (${result}):\n${stdout}${stderr}")
+endif()
+
+file(STRINGS ${trace_csv} trace_lines)
+list(LENGTH trace_lines trace_length)
+if(trace_length LESS 2)
+  message(FATAL_ERROR "trace CSV has ${trace_length} line(s); want a header plus data rows")
+endif()
+list(GET trace_lines 0 trace_header)
+if(NOT trace_header MATCHES "^tick,cpu0")
+  message(FATAL_ERROR "trace CSV header looks wrong: ${trace_header}")
+endif()
+list(GET trace_lines 1 trace_row)
+if(NOT trace_row MATCHES "^[0-9]+,[0-9.]+")
+  message(FATAL_ERROR "trace CSV first data row looks wrong: ${trace_row}")
+endif()
+
+file(STRINGS ${summary_csv} summary_lines)
+list(LENGTH summary_lines summary_length)
+if(summary_length LESS 5)
+  message(FATAL_ERROR "summary CSV has ${summary_length} line(s); want the full summary")
+endif()
+string(REPLACE ";" "\n" summary_text "${summary_lines}")
+foreach(key migrations completions throughput avg_throttled_fraction)
+  if(NOT summary_text MATCHES "${key},")
+    message(FATAL_ERROR "summary CSV is missing ${key}:\n${summary_text}")
+  endif()
+endforeach()
+
+# --- --list-scenarios shows the catalogue ------------------------------------
+execute_process(COMMAND ${EASTOOL} --list-scenarios RESULT_VARIABLE result
+                OUTPUT_VARIABLE listing ERROR_QUIET)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "eastool --list-scenarios failed (${result})")
+endif()
+foreach(name paper-mixed paper-homogeneous paper-hot-task short-tasks phase-shift
+        poisson-open-loop trace-replay)
+  if(NOT listing MATCHES "${name}")
+    message(FATAL_ERROR "--list-scenarios is missing ${name}:\n${listing}")
+  endif()
+endforeach()
+
+# --- rejection paths ----------------------------------------------------------
+run_expect_failure("bad topology" ${EASTOOL} --topology junk:0:x --duration-s 1)
+run_expect_failure("zero-CPU topology" ${EASTOOL} --topology 1:0:1 --duration-s 1)
+run_expect_failure("unknown policy" ${EASTOOL} --policy no_such_policy --duration-s 1)
+run_expect_failure("unknown scenario" ${EASTOOL} --scenario no-such-scenario --duration-s 1)
+run_expect_failure("bad workload" ${EASTOOL} --workload bogus:3 --duration-s 1)
+
+message(STATUS "eastool smoke test passed")

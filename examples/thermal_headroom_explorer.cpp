@@ -28,7 +28,7 @@ eas::ExperimentSpec SpecWithLimit(const std::vector<const eas::Program*>& worklo
   spec.config.sched = energy_aware ? eas::EnergySchedConfig::EnergyAware()
                                    : eas::EnergySchedConfig::Baseline();
   spec.options.duration_ticks = 150'000;
-  spec.programs = workload;
+  spec.workload = workload;
   return spec;
 }
 

@@ -133,4 +133,13 @@ std::string EffectiveBalancerName(const EnergySchedConfig& config) {
   return "energy_aware";
 }
 
+EnergySchedConfig SchedConfigForPolicy(const std::string& name) {
+  if (name == "load_only") {
+    return EnergySchedConfig::Baseline();
+  }
+  EnergySchedConfig config = EnergySchedConfig::EnergyAware();
+  config.balancer_name = name;
+  return config;
+}
+
 }  // namespace eas

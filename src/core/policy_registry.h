@@ -63,6 +63,14 @@ class BalancePolicyRegistry {
 // `balancer_kind` enum when the name is empty.
 std::string EffectiveBalancerName(const EnergySchedConfig& config);
 
+// The scheduling configuration a registry policy name stands for:
+// "load_only" is the paper's full baseline (plain load balancing, no hot
+// task migration, no energy-aware placement); any other name keeps the
+// energy-aware feature set and selects that balancing policy by name. The
+// name is not validated here - resolve it against a BalancePolicyRegistry
+// (unknown names throw from the engine's CreateOrThrow path).
+EnergySchedConfig SchedConfigForPolicy(const std::string& name);
+
 }  // namespace eas
 
 #endif  // SRC_CORE_POLICY_REGISTRY_H_

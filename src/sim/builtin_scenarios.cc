@@ -1,0 +1,161 @@
+// The built-in scenario catalogue: the paper's evaluation workloads plus
+// stressors the paper could not run (open-loop arrivals, mid-run event-mix
+// shifts, trace replay). Every factory builds a self-contained ScenarioSpec:
+// the workload retains the ProgramLibrary its arrival pointers reach into,
+// so specs survive copying into parallel sweeps.
+
+#include <memory>
+
+#include "src/sim/scenario.h"
+#include "src/workloads/generators.h"
+#include "src/workloads/programs.h"
+#include "src/workloads/workload_builder.h"
+
+namespace eas {
+namespace {
+
+// The paper's machine: 2-node x 4-way xSeries 445, SMT off, measured cooling.
+MachineConfig PaperMachine() {
+  MachineConfig config;
+  config.topology = CpuTopology::PaperXSeries445(/*smt_enabled=*/false);
+  config.cooling = CoolingProfile::PaperXSeries445();
+  return config;
+}
+
+// Builds a library against `config`'s energy model and hands ownership to
+// whatever workload the caller derives from it.
+std::shared_ptr<const ProgramLibrary> MakeLibrary(const MachineConfig& config) {
+  return std::make_shared<ProgramLibrary>(config.model);
+}
+
+ScenarioSpec PaperMixed() {
+  ScenarioSpec spec;
+  spec.description = "Section 6.1: 18-task mixed Table 2 workload, 60 W cap, energy-aware";
+  spec.config = PaperMachine();
+  spec.config.explicit_max_power_physical = 60.0;
+  auto library = MakeLibrary(spec.config);
+  spec.workload = Workload(MixedWorkload(*library, 3));
+  spec.workload.Retain(library);
+  return spec;
+}
+
+ScenarioSpec PaperHomogeneous() {
+  ScenarioSpec spec;
+  spec.description = "Figure 8: memrw/pushpop/bitcnts homogeneity mix, 60 W cap";
+  spec.config = PaperMachine();
+  spec.config.explicit_max_power_physical = 60.0;
+  auto library = MakeLibrary(spec.config);
+  spec.workload = Workload(HomogeneityWorkload(*library, 4, 4, 4));
+  spec.workload.Retain(library);
+  return spec;
+}
+
+ScenarioSpec PaperHotTask() {
+  ScenarioSpec spec;
+  spec.description = "Figures 9/10: bitcnts hot tasks under 40 W throttling";
+  spec.config = PaperMachine();
+  spec.config.explicit_max_power_physical = 40.0;
+  spec.config.throttling_enabled = true;
+  auto library = MakeLibrary(spec.config);
+  spec.workload = Workload(HotTaskWorkload(*library, 4));
+  spec.workload.Retain(library);
+  spec.options.record_task_cpu = true;
+  return spec;
+}
+
+ScenarioSpec ShortTasks() {
+  ScenarioSpec spec;
+  spec.description = "Section 6.2: churning short hot/cool tasks, stresses initial placement";
+  spec.config = PaperMachine();
+  spec.config.explicit_max_power_physical = 60.0;
+  auto library = MakeLibrary(spec.config);
+  Workload workload;
+  for (int i = 0; i < 24; ++i) {
+    workload.Add(i % 2 == 0 ? library->short_hot() : library->short_cool());
+  }
+  workload.Retain(library);
+  spec.workload = std::move(workload);
+  return spec;
+}
+
+ScenarioSpec PhaseShift() {
+  ScenarioSpec spec;
+  spec.description = "Stressor: 8 tasks flip ALU-hot <-> mem-cool mix every 30 s";
+  spec.config = PaperMachine();
+  spec.config.explicit_max_power_physical = 60.0;
+  PhaseShiftOptions options;
+  options.tasks = 8;
+  spec.workload = PhaseShiftWorkload(spec.config.model, options);
+  return spec;
+}
+
+ScenarioSpec PoissonOpenLoop() {
+  ScenarioSpec spec;
+  spec.description = "Stressor: open-loop Poisson arrivals (2/s) of the Table 2 mix";
+  spec.config = PaperMachine();
+  spec.config.explicit_max_power_physical = 60.0;
+  auto library = MakeLibrary(spec.config);
+  PoissonOptions options;
+  options.arrivals_per_second = 2.0;
+  options.horizon_ticks = spec.options.duration_ticks;
+  options.initial_tasks = 8;
+  options.seed = 7;
+  spec.workload = PoissonWorkload(library->Table2Programs(), options);
+  spec.workload.Retain(library);
+  return spec;
+}
+
+ScenarioSpec TraceReplay() {
+  ScenarioSpec spec;
+  spec.description = "Trace playback: staged bitcnts burst over a memrw floor";
+  spec.config = PaperMachine();
+  spec.config.explicit_max_power_physical = 60.0;
+  auto library = MakeLibrary(spec.config);
+  // A hand-written arrival schedule: a cool floor at start, then a hot
+  // burst arriving mid-run in two waves, exercising TraceWorkload end to
+  // end (the same parser `eastool --workload trace:FILE` uses).
+  static constexpr char kTrace[] =
+      "tick,program,nice\n"
+      "0,memrw,0\n"
+      "0,memrw,0\n"
+      "0,pushpop,0\n"
+      "0,pushpop,0\n"
+      "60000,bitcnts,0\n"
+      "60000,bitcnts,0\n"
+      "120000,bitcnts,0\n"
+      "120000,bitcnts,0\n"
+      "180000,openssl,0\n"
+      "240000,bzip2,0\n";
+  Workload workload;
+  std::string error;
+  // The built-in trace is a compile-time constant; parsing cannot fail.
+  (void)ParseTraceWorkload(kTrace, *library, &workload, &error);
+  workload.Retain(library);
+  spec.workload = std::move(workload);
+  return spec;
+}
+
+}  // namespace
+
+void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
+  registry.Register("paper-mixed",
+                    "Section 6.1: 18-task mixed Table 2 workload, 60 W cap, energy-aware",
+                    PaperMixed);
+  registry.Register("paper-homogeneous",
+                    "Figure 8: memrw/pushpop/bitcnts homogeneity mix, 60 W cap",
+                    PaperHomogeneous);
+  registry.Register("paper-hot-task", "Figures 9/10: bitcnts hot tasks under 40 W throttling",
+                    PaperHotTask);
+  registry.Register("short-tasks",
+                    "Section 6.2: churning short hot/cool tasks, stresses initial placement",
+                    ShortTasks);
+  registry.Register("phase-shift", "Stressor: 8 tasks flip ALU-hot <-> mem-cool mix every 30 s",
+                    PhaseShift);
+  registry.Register("poisson-open-loop",
+                    "Stressor: open-loop Poisson arrivals (2/s) of the Table 2 mix",
+                    PoissonOpenLoop);
+  registry.Register("trace-replay", "Trace playback: staged bitcnts burst over a memrw floor",
+                    TraceReplay);
+}
+
+}  // namespace eas

@@ -1,5 +1,6 @@
 #include "src/sim/csv_export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -12,14 +13,23 @@ std::string SeriesSetToCsv(const SeriesSet& set) {
     out += series.name();
   }
   out += "\n";
-  if (set.size() == 0) {
-    return out;
+  // Rows run to the *longest* series - bounding by the first would silently
+  // drop the tail of any longer series. Shorter series emit empty cells; the
+  // tick column comes from the first series that still has a sample at the
+  // row index (the series of a set share one sampling grid).
+  std::size_t rows = 0;
+  for (const auto& series : set.all()) {
+    rows = std::max(rows, series.size());
   }
-  const Series& first = set.at(0);
   char buffer[64];
-  for (std::size_t i = 0; i < first.size(); ++i) {
-    std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(first.tick_at(i)));
-    out += buffer;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (const auto& series : set.all()) {
+      if (i < series.size()) {
+        std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(series.tick_at(i)));
+        out += buffer;
+        break;
+      }
+    }
     for (const auto& series : set.all()) {
       if (i < series.size()) {
         std::snprintf(buffer, sizeof(buffer), ",%.4f", series.value_at(i));

@@ -40,12 +40,19 @@ Experiment::Experiment(const MachineConfig& config, const Options& options)
     : options_(options), machine_(std::make_unique<Machine>(config)) {}
 
 RunResult Experiment::Run(const std::vector<const Program*>& programs) {
-  RunResult result;
+  return Run(Workload(programs));
+}
 
+RunResult Experiment::Run(const Workload& workload) {
+  RunResult result;
+  const std::vector<TaskArrival>& arrivals = workload.arrivals();
+
+  // Initial spawn set: everything that arrives at or before the run start.
   std::vector<Task*> spawned;
-  spawned.reserve(programs.size());
-  for (const Program* program : programs) {
-    spawned.push_back(machine_->Spawn(*program));
+  std::size_t next = 0;
+  while (next < arrivals.size() && arrivals[next].tick <= 0) {
+    spawned.push_back(machine_->Spawn(*arrivals[next].program, arrivals[next].nice));
+    ++next;
   }
 
   Accounting::Options accounting_options;
@@ -58,7 +65,22 @@ RunResult Experiment::Run(const std::vector<const Program*>& programs) {
   }
 
   machine_->engine().AddObserver(&accounting);
-  machine_->Run(options_.duration_ticks);
+  Tick now = 0;
+  while (now < options_.duration_ticks) {
+    Tick stop = options_.duration_ticks;
+    if (next < arrivals.size() && arrivals[next].tick < stop) {
+      stop = arrivals[next].tick;
+    }
+    machine_->Run(stop - now);
+    now = stop;
+    if (now >= options_.duration_ticks) {
+      break;  // run over; an arrival at exactly the end tick never spawns
+    }
+    while (next < arrivals.size() && arrivals[next].tick <= now) {
+      machine_->Spawn(*arrivals[next].program, arrivals[next].nice);
+      ++next;
+    }
+  }
   machine_->engine().RemoveObserver(&accounting);
 
   result.thermal_power = std::move(accounting.thermal_power());

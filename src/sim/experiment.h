@@ -11,6 +11,7 @@
 #include "src/base/series.h"
 #include "src/sim/machine.h"
 #include "src/task/program.h"
+#include "src/workloads/workload.h"
 
 namespace eas {
 
@@ -53,7 +54,14 @@ class Experiment {
 
   Experiment(const MachineConfig& config, const Options& options);
 
-  // Spawns `programs` (in order) and runs for the configured duration.
+  // Runs `workload` for the configured duration: arrivals at tick <= 0 spawn
+  // before the first tick, later arrivals are injected mid-run at their
+  // tick (arrivals at or past the duration never spawn). Only the initial
+  // spawn set is traced when `record_task_cpu` is set - mid-run arrivals
+  // would not share the sampling grid's start.
+  RunResult Run(const Workload& workload);
+
+  // Legacy shape: spawns `programs` (in order) at tick 0.
   RunResult Run(const std::vector<const Program*>& programs);
 
   Machine& machine() { return *machine_; }

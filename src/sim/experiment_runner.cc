@@ -39,7 +39,7 @@ std::vector<RunResult> ExperimentRunner::RunAll(const std::vector<ExperimentSpec
       }
       try {
         Experiment experiment(specs[i].config, specs[i].options);
-        results[i] = experiment.Run(specs[i].programs);
+        results[i] = experiment.Run(specs[i].workload);
       } catch (...) {
         std::lock_guard<std::mutex> lock(failure_mutex);
         if (i < failed_index) {

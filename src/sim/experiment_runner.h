@@ -18,12 +18,14 @@
 
 namespace eas {
 
-// One self-contained run of a sweep.
+// One self-contained run of a sweep. `workload` converts implicitly from the
+// legacy std::vector<const Program*> spawn lists and can carry timed
+// arrivals plus ownership of generated programs (src/workloads/workload.h).
 struct ExperimentSpec {
   std::string name;  // label for reports ("energy_aware/seed42")
   MachineConfig config;
   Experiment::Options options;
-  std::vector<const Program*> programs;
+  Workload workload;
 };
 
 class ExperimentRunner {

@@ -1,0 +1,78 @@
+#include "src/sim/scenario.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace eas {
+
+ExperimentSpec ScenarioSpec::ToExperimentSpec() const {
+  ExperimentSpec spec;
+  spec.name = name;
+  spec.config = config;
+  spec.options = options;
+  spec.workload = workload;
+  return spec;
+}
+
+ScenarioRegistry& ScenarioRegistry::Global() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    RegisterBuiltinScenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool ScenarioRegistry::Register(const std::string& name, const std::string& description,
+                                Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.emplace(name, std::make_pair(description, std::move(factory))).second;
+}
+
+ScenarioSpec ScenarioRegistry::BuildOrThrow(const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(name);
+    if (it != factories_.end()) {
+      factory = it->second.second;
+    }
+  }
+  if (factory == nullptr) {
+    std::string known;
+    for (const std::string& candidate : Names()) {
+      known += known.empty() ? candidate : ", " + candidate;
+    }
+    throw std::invalid_argument("unknown scenario \"" + name + "\" (known: " + known + ")");
+  }
+  ScenarioSpec spec = factory();
+  spec.name = name;
+  return spec;
+}
+
+bool ScenarioRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.contains(name);
+}
+
+std::vector<std::string> ScenarioRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, entry] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<ScenarioRegistry::Info> ScenarioRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Info> infos;
+  infos.reserve(factories_.size());
+  for (const auto& [name, entry] : factories_) {
+    infos.push_back(Info{name, entry.first});
+  }
+  return infos;
+}
+
+}  // namespace eas

@@ -3,6 +3,29 @@
 #include <cassert>
 
 namespace eas {
+namespace {
+
+// Strict positive-integer parse: every character a digit, value >= 1. The
+// length cap keeps the value far from overflow (no machine has 1e9 nodes).
+bool ParsePositiveField(const std::string& text, std::size_t* out) {
+  if (text.empty() || text.size() > 9) {
+    return false;
+  }
+  std::size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (value == 0) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
 
 CpuTopology::CpuTopology(std::size_t num_nodes, std::size_t physical_per_node,
                          std::size_t smt_per_physical)
@@ -50,5 +73,37 @@ std::vector<int> CpuTopology::SiblingsOf(int logical) const {
 bool CpuTopology::AreSiblings(int a, int b) const { return PhysicalOf(a) == PhysicalOf(b); }
 
 bool CpuTopology::SameNode(int a, int b) const { return NodeOf(a) == NodeOf(b); }
+
+std::optional<CpuTopology> ParseTopologySpec(const std::string& spec, std::string* error) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : spec) {
+    if (c == ':') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  if (fields.size() != 3) {
+    if (error != nullptr) {
+      *error = "want nodes:physical-per-node:smt, got \"" + spec + "\"";
+    }
+    return std::nullopt;
+  }
+  static constexpr const char* kFieldNames[3] = {"nodes", "physical-per-node", "smt"};
+  std::size_t values[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (!ParsePositiveField(fields[i], &values[i])) {
+      if (error != nullptr) {
+        *error = std::string(kFieldNames[i]) + " field \"" + fields[i] +
+                 "\" is not a positive integer";
+      }
+      return std::nullopt;
+    }
+  }
+  return CpuTopology(values[0], values[1], values[2]);
+}
 
 }  // namespace eas

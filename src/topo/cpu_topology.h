@@ -9,6 +9,8 @@
 #define SRC_TOPO_CPU_TOPOLOGY_H_
 
 #include <cstddef>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace eas {
@@ -52,6 +54,13 @@ class CpuTopology {
   std::size_t physical_per_node_;
   std::size_t smt_per_physical_;
 };
+
+// Parses a "nodes:physical-per-node:smt" topology specification (the
+// `eastool --topology` syntax) with full validation: exactly three fields,
+// every field a positive integer with no trailing garbage. Returns nullopt
+// and sets `error` (if non-null) to a human-readable reason otherwise -
+// "junk:0:x" must be rejected, not become a 0-CPU machine.
+std::optional<CpuTopology> ParseTopologySpec(const std::string& spec, std::string* error);
 
 }  // namespace eas
 

@@ -1,0 +1,49 @@
+#include "src/workloads/workload.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace eas {
+
+Workload::Workload(std::vector<const Program*> programs) {
+  arrivals_.reserve(programs.size());
+  for (const Program* program : programs) {
+    arrivals_.push_back(TaskArrival{0, program, 0});
+  }
+}
+
+void Workload::Add(const Program& program, Tick tick, int nice) {
+  if (!arrivals_.empty() && tick < arrivals_.back().tick) {
+    sorted_ = false;
+  }
+  arrivals_.push_back(TaskArrival{tick, &program, nice});
+}
+
+const Program* Workload::Own(std::unique_ptr<Program> program) {
+  owned_.push_back(std::move(program));
+  return owned_.back().get();
+}
+
+void Workload::Retain(std::shared_ptr<const void> resource) {
+  retained_.push_back(std::move(resource));
+}
+
+const std::vector<TaskArrival>& Workload::arrivals() const {
+  if (!sorted_) {
+    std::stable_sort(arrivals_.begin(), arrivals_.end(),
+                     [](const TaskArrival& a, const TaskArrival& b) { return a.tick < b.tick; });
+    sorted_ = true;
+  }
+  return arrivals_;
+}
+
+std::size_t Workload::InitialTasks() const {
+  const auto& sorted = arrivals();
+  std::size_t n = 0;
+  while (n < sorted.size() && sorted[n].tick <= 0) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace eas

@@ -117,5 +117,25 @@ TEST(PolicyRegistryTest, RuntimePolicySelectableByString) {
   EXPECT_EQ(machine.migration_count(), 0);
 }
 
+
+TEST(PolicyRegistryTest, SchedConfigForPolicyLoadOnlyIsFullBaseline) {
+  const EnergySchedConfig config = SchedConfigForPolicy("load_only");
+  EXPECT_FALSE(config.energy_balancing);
+  EXPECT_FALSE(config.hot_task_migration);
+  EXPECT_FALSE(config.energy_aware_placement);
+  EXPECT_EQ(EffectiveBalancerName(config), "load_only");
+}
+
+TEST(PolicyRegistryTest, SchedConfigForPolicySelectsByName) {
+  for (const char* name : {"energy_aware", "power_only", "temperature_only", "my_custom"}) {
+    const EnergySchedConfig config = SchedConfigForPolicy(name);
+    EXPECT_TRUE(config.energy_balancing) << name;
+    EXPECT_TRUE(config.hot_task_migration) << name;
+    EXPECT_TRUE(config.energy_aware_placement) << name;
+    EXPECT_EQ(config.balancer_name, name);
+    EXPECT_EQ(EffectiveBalancerName(config), name);
+  }
+}
+
 }  // namespace
 }  // namespace eas

@@ -39,7 +39,18 @@ TEST(EnergyEstimatorTest, EstimatePowerNormalizes) {
   // Same events over half the time means double the dynamic power.
   const double power_50 = estimator.EstimatePower(events, 50);
   EXPECT_GT(power_50, power_100);
-  EXPECT_DOUBLE_EQ(estimator.EstimatePower(events, 0), 0.0);
+}
+
+TEST(EnergyEstimatorTest, EstimatePowerAtZeroTicks) {
+  const EnergyEstimator estimator = EnergyEstimator::Oracle(EnergyModel::Default(), 1);
+  // No events, no accounted time: genuinely idle, 0 W.
+  EXPECT_DOUBLE_EQ(estimator.EstimatePower(ZeroEvents(), 0), 0.0);
+  // A nonzero diff at zero accounted ticks is under-resolved execution, not
+  // idleness: it must surface as the one-tick power, never as 0 W.
+  EventVector events{};
+  events[EventIndex(EventType::kIntAluOps)] = 1000.0;
+  EXPECT_DOUBLE_EQ(estimator.EstimatePower(events, 0), estimator.EstimatePower(events, 1));
+  EXPECT_GT(estimator.EstimatePower(events, 0), 0.0);
 }
 
 TEST(EnergyEstimatorTest, TaskPowerReconstruction) {

@@ -87,6 +87,36 @@ TEST_F(RunqueueTest, HottestOfEmptyQueueIsNull) {
   EXPECT_EQ(env_.runqueue(0).CoolestQueued(), nullptr);
 }
 
+TEST_F(RunqueueTest, QueuedPowerSumReanchorsOnEmptyAfterDrift) {
+  // Force floating-point rounding in the incremental queued-power sum with a
+  // huge/tiny power pair: ((1e16 + 3.3) - 1e16) - 3.3 != 0 in doubles. Once
+  // the queue empties the sum must re-anchor at exactly zero, so the next
+  // enqueue reads back bit-exact.
+  Task* huge = env_.AddTask(1e16, 0);
+  Task* tiny = env_.AddTask(3.3, 0);
+  Runqueue& rq = env_.runqueue(0);
+  ASSERT_TRUE(rq.Remove(huge));
+  ASSERT_TRUE(rq.Remove(tiny));
+  EXPECT_DOUBLE_EQ(rq.AveragePower(13.6), 13.6);
+  Task* task = env_.AddTask(47.0, 0);
+  EXPECT_DOUBLE_EQ(rq.AveragePower(13.6), 47.0);
+  ASSERT_TRUE(rq.Remove(task));
+}
+
+TEST_F(RunqueueTest, QueuedPowerSumReanchorsViaPickNextDrain) {
+  // Same drift scenario, drained through PickNext (the scheduler's path)
+  // instead of Remove: popping the last queued task must also re-anchor.
+  env_.AddTask(1e16, 0);
+  env_.AddTask(3.3, 0);
+  Runqueue& rq = env_.runqueue(0);
+  rq.PickNext();
+  rq.PickNext();  // queue now empty, drift re-anchored; 3.3-task is current
+  rq.TakeCurrent();
+  Task* task = env_.AddTask(52.5, 0);
+  EXPECT_DOUBLE_EQ(rq.AveragePower(13.6), 52.5);
+  ASSERT_TRUE(rq.Remove(task));
+}
+
 TEST_F(RunqueueTest, TakeCurrentDetaches) {
   Task* a = env_.AddRunningTask(40.0, 0);
   Runqueue& rq = env_.runqueue(0);

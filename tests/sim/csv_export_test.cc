@@ -44,6 +44,59 @@ TEST(CsvExportTest, RaggedSeriesPadded) {
   EXPECT_NE(csv.find("1,2.0000,\n"), std::string::npos);
 }
 
+TEST(CsvExportTest, FirstSeriesShorterKeepsAllRows) {
+  // Rows must run to the longest series, not the first: a short first
+  // series used to silently truncate every other series' tail.
+  SeriesSet set;
+  Series& a = set.Create("a");
+  Series& b = set.Create("b");
+  a.Add(0, 1.0);
+  b.Add(0, 9.0);
+  b.Add(100, 8.0);
+  b.Add(200, 7.0);
+  const std::string csv = SeriesSetToCsv(set);
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);
+  EXPECT_EQ(line, "tick,a,b");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "0,1.0000,9.0000");
+  // Rows past the first series' end: tick comes from the longer series,
+  // the exhausted series pads with an empty cell.
+  std::getline(lines, line);
+  EXPECT_EQ(line, "100,,8.0000");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "200,,7.0000");
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(CsvExportTest, MixedLengthRoundTripPreservesEverySample) {
+  // Round-trip check: every sample of every series appears in the CSV,
+  // whichever series happens to be first.
+  SeriesSet set;
+  Series& task = set.Create("task");  // finishes early
+  Series& cpu = set.Create("cpu");
+  for (int i = 0; i < 3; ++i) {
+    task.Add(i * 500, 1.0 + i);
+  }
+  for (int i = 0; i < 7; ++i) {
+    cpu.Add(i * 500, 40.0 + i);
+  }
+  const std::string csv = SeriesSetToCsv(set);
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);  // header
+  std::size_t rows = 0;
+  long long last_tick = -1;
+  while (std::getline(lines, line)) {
+    ++rows;
+    last_tick = std::stoll(line.substr(0, line.find(',')));
+  }
+  EXPECT_EQ(rows, 7u);
+  EXPECT_EQ(last_tick, 3000);
+  EXPECT_NE(csv.find("46.0000"), std::string::npos);  // cpu's tail survived
+}
+
 TEST(CsvExportTest, RunSummaryFields) {
   RunResult result;
   result.migrations = 12;

@@ -33,7 +33,7 @@ std::vector<ExperimentSpec> MakeSpecs(const ProgramLibrary& library) {
         seed % 2 == 0 ? EnergySchedConfig::Baseline() : EnergySchedConfig::EnergyAware();
     spec.options.duration_ticks = 4'000;
     spec.options.sample_interval_ticks = 500;
-    spec.programs = MixedWorkload(library, 1);
+    spec.workload = MixedWorkload(library, 1);
     specs.push_back(std::move(spec));
   }
   return specs;
@@ -89,7 +89,7 @@ TEST(ExperimentRunnerTest, ResultsKeepSpecOrder) {
     spec.config = QuickConfig(7);
     spec.options.duration_ticks = static_cast<Tick>(i) * 1'000;
     spec.options.sample_interval_ticks = 100;
-    spec.programs = {&library.bitcnts()};
+    spec.workload = std::vector<const Program*>{&library.bitcnts()};
     specs.push_back(std::move(spec));
   }
   const std::vector<RunResult> results = ExperimentRunner(4).RunAll(specs);

@@ -77,5 +77,41 @@ TEST(CpuTopologyTest, SmtOffEveryCpuOwnSibling) {
   }
 }
 
+
+TEST(ParseTopologySpecTest, AcceptsValidSpecs) {
+  std::string error;
+  const auto paper = ParseTopologySpec("2:4:2", &error);
+  ASSERT_TRUE(paper.has_value()) << error;
+  EXPECT_EQ(paper->num_nodes(), 2u);
+  EXPECT_EQ(paper->physical_per_node(), 4u);
+  EXPECT_EQ(paper->smt_per_physical(), 2u);
+  EXPECT_EQ(paper->num_logical(), 16u);
+  const auto tiny = ParseTopologySpec("1:1:1", nullptr);
+  ASSERT_TRUE(tiny.has_value());
+  EXPECT_EQ(tiny->num_logical(), 1u);
+}
+
+TEST(ParseTopologySpecTest, RejectsMalformedSpecs) {
+  // The historical bug: "junk:0:x" went through atoi and produced a 0-CPU
+  // machine. Every field must be a strictly positive integer.
+  for (const char* bad :
+       {"junk:0:x", "2:4", "2:4:1:1", "", "0:4:1", "2:0:1", "2:4:0", "-2:4:1", "2:4:x",
+        "2: 4:1", "2:4:1x", "+2:4:1", "9999999999:1:1"}) {
+    std::string error;
+    EXPECT_FALSE(ParseTopologySpec(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(ParseTopologySpecTest, ErrorNamesTheBadField) {
+  std::string error;
+  EXPECT_FALSE(ParseTopologySpec("2:0:1", &error).has_value());
+  EXPECT_NE(error.find("physical-per-node"), std::string::npos) << error;
+  EXPECT_FALSE(ParseTopologySpec("2:4:x", &error).has_value());
+  EXPECT_NE(error.find("smt"), std::string::npos) << error;
+  EXPECT_FALSE(ParseTopologySpec("2:4", &error).has_value());
+  EXPECT_NE(error.find("nodes:physical-per-node:smt"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace eas

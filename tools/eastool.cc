@@ -1,27 +1,34 @@
 // eastool - run energy-aware scheduling experiments from the command line.
 //
-// Examples:
-//   eastool --topology 2:4:2 --policy eas --workload mixed:6
+// Quickstart:
+//   eastool --list-scenarios
+//   eastool --scenario paper-mixed --duration-s 120 --trace-csv thermal.csv
+//   eastool --scenario poisson-open-loop --policy load_only --runs 4
+//   eastool --topology 2:4:2 --policy energy_aware --workload mixed:6
 //           --duration-s 300 --temp-limit 38 --throttle
-//   eastool --topology 2:4:1 --policy baseline --workload homog:8,2,8
-//           --duration-s 120 --max-power 60
-//   eastool --policy eas --workload hot:1 --max-power 40 --throttle
-//           --trace-csv thermal.csv --summary-csv summary.csv
+//   eastool --policy energy_aware --workload trace:arrivals.csv --summary-csv s.csv
 //
-// Policies: baseline | eas | power-only | temp-only, or any name registered
-// in the BalancePolicyRegistry (see --policy handling below).
-// Workloads: mixed:<instances> | homog:<memrw>,<pushpop>,<bitcnts> | hot:<n>
-//            | short:<n>
+// Scenarios come from the ScenarioRegistry (src/sim/scenario.h): a named,
+// fully-specified experiment (topology, cooling, limits, policy, workload,
+// duration, seed). Explicit flags override the scenario's settings. Policies
+// resolve purely through the BalancePolicyRegistry; "baseline" and "eas" are
+// accepted as aliases for load_only / energy_aware, and '-' matches '_'.
+// With --runs N the spec is expanded into an N-seed sweep and fanned across
+// the parallel ExperimentRunner (deterministic for any --threads).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/base/flags.h"
 #include "src/core/policy_registry.h"
 #include "src/sim/csv_export.h"
-#include "src/sim/experiment.h"
+#include "src/sim/scenario.h"
+#include "src/workloads/generators.h"
 #include "src/workloads/programs.h"
 #include "src/workloads/workload_builder.h"
 
@@ -30,17 +37,59 @@ namespace {
 void PrintUsage() {
   std::printf(
       "usage: eastool [flags]\n"
+      "  --list-scenarios    list registered scenarios and exit\n"
+      "  --scenario NAME     run a registered scenario (flags below override it)\n"
       "  --topology N:P:S    nodes : physical-per-node : smt (default 2:4:1)\n"
-      "  --policy NAME       baseline | eas | power-only | temp-only, or any\n"
-      "                      BalancePolicyRegistry name (default eas)\n"
+      "  --policy NAME       any BalancePolicyRegistry name (default energy_aware;\n"
+      "                      aliases: baseline = load_only, eas = energy_aware,\n"
+      "                      temp-only = temperature_only; '-' matches '_')\n"
       "  --workload SPEC     mixed:<inst> | homog:<m>,<p>,<b> | hot:<n> | short:<n>\n"
+      "                      | trace:<file.csv>   (rows: tick,program[,nice])\n"
       "  --duration-s SEC    simulated seconds (default 120)\n"
+      "  --runs N            expand into an N-seed sweep (default 1)\n"
+      "  --threads N         runner threads, 0 = hardware (default 0)\n"
       "  --max-power W       explicit per-package power limit\n"
       "  --temp-limit C      derive per-package limits from cooling (default 38)\n"
       "  --throttle          enforce thermal throttling\n"
       "  --seed N            experiment seed (default 42)\n"
-      "  --trace-csv FILE    write per-CPU thermal power trace\n"
-      "  --summary-csv FILE  write the run summary\n");
+      "  --trace-csv FILE    write per-CPU thermal power trace (first run)\n"
+      "  --summary-csv FILE  write the run summary (first run)\n");
+}
+
+// Registry policy name for a CLI spelling: '-' matches '_', plus the legacy
+// aliases the tool has always accepted.
+std::string NormalizePolicyName(std::string name) {
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  if (name == "baseline") {
+    return "load_only";
+  }
+  if (name == "eas") {
+    return "energy_aware";
+  }
+  if (name == "temp_only") {  // the tool's historical spelling was temp-only
+    return "temperature_only";
+  }
+  return name;
+}
+
+void PrintResult(const std::string& name, const eas::MachineConfig& config,
+                 const eas::Experiment::Options& options, const eas::RunResult& result,
+                 std::size_t tasks) {
+  std::printf("run:               %s\n", name.c_str());
+  std::printf("arrivals:          %zu scheduled\n", tasks);
+  std::printf("cpus:              %zu logical / %zu physical\n", config.topology.num_logical(),
+              config.topology.num_physical());
+  std::printf("throughput:        %.1f work-ticks/s\n", result.Throughput());
+  std::printf("migrations:        %lld\n", static_cast<long long>(result.migrations));
+  std::printf("completions:       %lld\n", static_cast<long long>(result.completions));
+  std::printf("avg throttled:     %.2f%%\n", result.AverageThrottledFraction() * 100);
+  std::printf("peak thermal:      %.1f W\n", result.thermal_power.MaxValue());
+  std::printf("spread (steady):   %.1f W\n",
+              result.MaxThermalSpreadAfter(options.duration_ticks / 2));
 }
 
 }  // namespace
@@ -52,87 +101,149 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // --- machine -----------------------------------------------------------
-  eas::MachineConfig config;
-  {
-    const auto fields = eas::FlagParser::SplitColons(flags.GetString("topology", "2:4:1"));
-    if (fields.size() != 3) {
-      std::fprintf(stderr, "bad --topology (want N:P:S)\n");
+  if (flags.Has("list-scenarios")) {
+    for (const auto& info : eas::ScenarioRegistry::Global().List()) {
+      std::printf("%-20s %s\n", info.name.c_str(), info.description.c_str());
+    }
+    return 0;
+  }
+
+  eas::ExperimentSpec spec;
+  const bool from_scenario = flags.Has("scenario");
+
+  if (from_scenario) {
+    // --- scenario base ------------------------------------------------------
+    const std::string name = flags.GetString("scenario");
+    if (!eas::ScenarioRegistry::Global().Contains(name)) {
+      std::fprintf(stderr, "unknown --scenario %s (registered:", name.c_str());
+      for (const std::string& known : eas::ScenarioRegistry::Global().Names()) {
+        std::fprintf(stderr, " %s", known.c_str());
+      }
+      std::fprintf(stderr, ")\n");
       return 1;
     }
-    config.topology =
-        eas::CpuTopology(static_cast<std::size_t>(std::atoi(fields[0].c_str())),
-                         static_cast<std::size_t>(std::atoi(fields[1].c_str())),
-                         static_cast<std::size_t>(std::atoi(fields[2].c_str())));
-  }
-  if (config.topology.num_physical() == 8) {
-    config.cooling = eas::CoolingProfile::PaperXSeries445();
+    spec = eas::ScenarioRegistry::Global().BuildOrThrow(name).ToExperimentSpec();
+    if (flags.Has("workload")) {
+      std::fprintf(stderr, "--workload cannot override a --scenario workload\n");
+      return 1;
+    }
   } else {
-    config.cooling = eas::CoolingProfile::Uniform(config.topology.num_physical(),
-                                                  eas::ThermalParams{});
+    spec.name = "cli";
+  }
+
+  // --- machine overrides ----------------------------------------------------
+  if (!from_scenario || flags.Has("topology")) {
+    std::string error;
+    const auto topology =
+        eas::ParseTopologySpec(flags.GetString("topology", "2:4:1"), &error);
+    if (!topology.has_value()) {
+      std::fprintf(stderr, "bad --topology: %s\n", error.c_str());
+      return 1;
+    }
+    spec.config.topology = *topology;
+    if (spec.config.topology.num_physical() == 8) {
+      spec.config.cooling = eas::CoolingProfile::PaperXSeries445();
+    } else {
+      spec.config.cooling = eas::CoolingProfile::Uniform(spec.config.topology.num_physical(),
+                                                         eas::ThermalParams{});
+    }
   }
   if (flags.Has("max-power")) {
-    config.explicit_max_power_physical = flags.GetDouble("max-power", 60.0);
+    spec.config.explicit_max_power_physical = flags.GetDouble("max-power", 60.0);
   }
-  config.temp_limit = flags.GetDouble("temp-limit", 38.0);
-  config.throttling_enabled = flags.GetBool("throttle", false);
-  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  if (!from_scenario || flags.Has("temp-limit")) {
+    spec.config.temp_limit = flags.GetDouble("temp-limit", 38.0);
+  }
+  if (!from_scenario || flags.Has("throttle")) {
+    spec.config.throttling_enabled = flags.GetBool("throttle", false);
+  }
+  if (!from_scenario || flags.Has("seed")) {
+    spec.config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  }
 
-  const std::string policy = flags.GetString("policy", "eas");
-  if (policy == "baseline") {
-    config.sched = eas::EnergySchedConfig::Baseline();
-  } else if (policy == "eas") {
-    config.sched = eas::EnergySchedConfig::EnergyAware();
-  } else if (policy == "power-only") {
-    config.sched = eas::EnergySchedConfig::EnergyAware();
-    config.sched.balancer_kind = eas::BalancerKind::kPowerOnly;
-  } else if (policy == "temp-only") {
-    config.sched = eas::EnergySchedConfig::EnergyAware();
-    config.sched.balancer_kind = eas::BalancerKind::kTemperatureOnly;
-  } else if (eas::BalancePolicyRegistry::Global().Contains(policy)) {
-    // Any registered balancing policy is selectable by its registry name.
-    config.sched = eas::EnergySchedConfig::EnergyAware();
-    config.sched.balancer_name = policy;
-  } else {
-    std::fprintf(stderr, "unknown --policy %s (registered:", policy.c_str());
-    for (const std::string& name : eas::BalancePolicyRegistry::Global().Names()) {
-      std::fprintf(stderr, " %s", name.c_str());
+  // --- policy (resolved purely via the BalancePolicyRegistry) ---------------
+  std::string policy = NormalizePolicyName(flags.GetString("policy", "energy_aware"));
+  if (!from_scenario || flags.Has("policy")) {
+    if (!eas::BalancePolicyRegistry::Global().Contains(policy)) {
+      std::fprintf(stderr, "unknown --policy %s (registered:", policy.c_str());
+      for (const std::string& name : eas::BalancePolicyRegistry::Global().Names()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      return 1;
     }
-    std::fprintf(stderr, ")\n");
-    return 1;
+    spec.config.sched = eas::SchedConfigForPolicy(policy);
+  } else {
+    policy = eas::EffectiveBalancerName(spec.config.sched);
   }
 
-  // --- workload ------------------------------------------------------------
-  const eas::ProgramLibrary library(config.model);
-  const auto workload =
-      eas::ParseWorkloadSpec(flags.GetString("workload", "mixed:3"), library);
-  if (workload.empty()) {
-    std::fprintf(stderr, "bad --workload\n");
-    return 1;
+  // --- workload -------------------------------------------------------------
+  if (!from_scenario) {
+    auto library = std::make_shared<eas::ProgramLibrary>(spec.config.model);
+    const std::string workload_spec = flags.GetString("workload", "mixed:3");
+    eas::Workload workload;
+    if (workload_spec.rfind("trace:", 0) == 0) {
+      std::string error;
+      if (!eas::LoadTraceWorkload(workload_spec.substr(6), *library, &workload, &error)) {
+        std::fprintf(stderr, "bad --workload trace: %s\n", error.c_str());
+        return 1;
+      }
+    } else {
+      workload = eas::Workload(eas::ParseWorkloadSpec(workload_spec, *library));
+    }
+    if (workload.empty()) {
+      std::fprintf(stderr, "bad --workload %s\n", workload_spec.c_str());
+      return 1;
+    }
+    workload.Retain(library);
+    spec.workload = std::move(workload);
   }
 
-  // --- run --------------------------------------------------------------------
-  eas::Experiment::Options options;
-  options.duration_ticks = static_cast<eas::Tick>(flags.GetDouble("duration-s", 120.0) * 1000.0);
-  options.sample_interval_ticks = 500;
-  eas::Experiment experiment(config, options);
-  const eas::RunResult result = experiment.Run(workload);
+  // --- duration / sweep -----------------------------------------------------
+  if (!from_scenario || flags.Has("duration-s")) {
+    spec.options.duration_ticks =
+        static_cast<eas::Tick>(flags.GetDouble("duration-s", 120.0) * 1000.0);
+  }
+  if (!from_scenario) {
+    spec.options.sample_interval_ticks = 500;
+  }
+
+  const long long runs = flags.GetInt("runs", 1);
+  if (runs < 1) {
+    std::fprintf(stderr, "bad --runs (want >= 1)\n");
+    return 1;
+  }
+  std::vector<eas::ExperimentSpec> specs =
+      runs == 1 ? std::vector<eas::ExperimentSpec>{spec}
+                : eas::ExperimentRunner::SeedSweep(spec, static_cast<std::size_t>(runs));
+
+  // --- run (always through the parallel runner) -----------------------------
+  const eas::ExperimentRunner runner(
+      static_cast<std::size_t>(std::max(0LL, flags.GetInt("threads", 0))));
+  std::vector<eas::RunResult> results;
+  try {
+    results = runner.RunAll(specs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run failed: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("policy:            %s\n", policy.c_str());
-  std::printf("tasks:             %zu\n", workload.size());
-  std::printf("cpus:              %zu logical / %zu physical\n", config.topology.num_logical(),
-              config.topology.num_physical());
-  std::printf("throughput:        %.1f work-ticks/s\n", result.Throughput());
-  std::printf("migrations:        %lld\n", static_cast<long long>(result.migrations));
-  std::printf("completions:       %lld\n", static_cast<long long>(result.completions));
-  std::printf("avg throttled:     %.2f%%\n", result.AverageThrottledFraction() * 100);
-  std::printf("peak thermal:      %.1f W\n", result.thermal_power.MaxValue());
-  std::printf("spread (steady):   %.1f W\n",
-              result.MaxThermalSpreadAfter(options.duration_ticks / 2));
+  if (from_scenario) {
+    std::printf("scenario:          %s\n", flags.GetString("scenario").c_str());
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) {
+      std::printf("\n");
+    }
+    PrintResult(specs[i].name, specs[i].config, specs[i].options, results[i],
+                specs[i].workload.size());
+  }
 
+  const eas::RunResult& first = results.front();
   const std::string trace_csv = flags.GetString("trace-csv");
   if (!trace_csv.empty()) {
-    if (!eas::WriteFile(trace_csv, eas::SeriesSetToCsv(result.thermal_power))) {
+    if (!eas::WriteFile(trace_csv, eas::SeriesSetToCsv(first.thermal_power))) {
       std::fprintf(stderr, "failed to write %s\n", trace_csv.c_str());
       return 1;
     }
@@ -140,7 +251,7 @@ int main(int argc, char** argv) {
   }
   const std::string summary_csv = flags.GetString("summary-csv");
   if (!summary_csv.empty()) {
-    if (!eas::WriteFile(summary_csv, eas::RunSummaryToCsv(result))) {
+    if (!eas::WriteFile(summary_csv, eas::RunSummaryToCsv(first))) {
       std::fprintf(stderr, "failed to write %s\n", summary_csv.c_str());
       return 1;
     }
