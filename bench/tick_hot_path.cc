@@ -1,0 +1,153 @@
+// Tick hot-path benchmark: engine ticks/sec as the task population grows.
+//
+// The event-driven engine (heap wake queue, arrival queue, cached balance
+// aggregates, active-mask sampling) must hold its tick rate roughly constant
+// as tasks accumulate; the scan-based loop it replaced degrades linearly in
+// the number of tasks ever spawned. This bench drives both over the same
+// sleeper-heavy workload (interactive daemons that spend most ticks blocked,
+// the worst case for the wake scan) at 100 / 1k / 10k tasks and writes the
+// ticks/sec table plus the speedup to BENCH_tick_hot_path.json.
+//
+//   $ bench_tick_hot_path [--ticks=2000] [--out=BENCH_tick_hot_path.json]
+//
+// The scan reference (src/sim/scan_reference.h) reproduces the
+// pre-event-queue engine tick exactly (same phase components, wakeups via a
+// task-table scan), so the bench also cross-checks that both loops finish in
+// bit-identical states.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/base/flags.h"
+#include "src/sim/csv_export.h"
+#include "src/sim/scan_reference.h"
+#include "src/sim/simulation_engine.h"
+#include "src/workloads/programs.h"
+
+namespace {
+
+using eas::Tick;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+eas::MachineConfig BenchConfig() {
+  eas::MachineConfig config;
+  config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/false);
+  config.cooling = eas::CoolingProfile::PaperXSeries445();
+  config.explicit_max_power_physical = 60.0;
+  config.estimator_weights = eas::EnergyModel::Default().weights();
+  config.seed = 7;
+  return config;
+}
+
+// Mostly-sleeping daemons plus a small always-running floor: the population
+// a consolidation host carries, and the worst case for a per-task wake scan.
+void SpawnSleeperHeavy(eas::SimulationState& state, const eas::ProgramLibrary& library,
+                       int tasks) {
+  for (int i = 0; i < tasks; ++i) {
+    switch (i % 8) {
+      case 0:
+        state.Spawn(library.memrw(), 0);
+        break;
+      case 1:
+      case 2:
+      case 3:
+        state.Spawn(library.bash(), 0);
+        break;
+      default:
+        state.Spawn(library.sshd(), 0);
+        break;
+    }
+  }
+}
+
+struct Measurement {
+  double engine_ticks_per_second = 0.0;
+  double scan_ticks_per_second = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+Measurement MeasurePopulation(const eas::ProgramLibrary& library, int tasks, Tick ticks) {
+  const eas::MachineConfig config = BenchConfig();
+
+  eas::SimulationState engine_state(config);
+  eas::SimulationEngine engine(config.sched);
+  SpawnSleeperHeavy(engine_state, library, tasks);
+  const auto engine_start = std::chrono::steady_clock::now();
+  for (Tick t = 0; t < ticks; ++t) {
+    engine.Tick(engine_state);
+  }
+  const double engine_seconds = SecondsSince(engine_start);
+
+  eas::SimulationState scan_state(config);
+  eas::ScanReferenceStepper scan(config.sched);
+  SpawnSleeperHeavy(scan_state, library, tasks);
+  const auto scan_start = std::chrono::steady_clock::now();
+  for (Tick t = 0; t < ticks; ++t) {
+    scan.Step(scan_state);
+  }
+  const double scan_seconds = SecondsSince(scan_start);
+
+  Measurement m;
+  m.engine_ticks_per_second =
+      engine_seconds > 0.0 ? static_cast<double>(ticks) / engine_seconds : 0.0;
+  m.scan_ticks_per_second = scan_seconds > 0.0 ? static_cast<double>(ticks) / scan_seconds : 0.0;
+  m.speedup = engine_seconds > 0.0 ? scan_seconds / engine_seconds : 0.0;
+  m.identical = engine_state.TotalWorkDone() == scan_state.TotalWorkDone() &&
+                engine_state.TotalTaskEnergy() == scan_state.TotalTaskEnergy() &&
+                engine_state.migration_count() == scan_state.migration_count();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const eas::FlagParser flags(argc, argv);
+  const Tick ticks = std::max<Tick>(1, flags.GetInt("ticks", 2'000));
+  const std::string out = flags.GetString("out", "BENCH_tick_hot_path.json");
+
+  const eas::ProgramLibrary library(eas::EnergyModel::Default());
+  constexpr int kPopulations[] = {100, 1'000, 10'000};
+  constexpr std::size_t kNumPopulations = sizeof(kPopulations) / sizeof(kPopulations[0]);
+
+  std::printf("== tick hot path: %lld ticks per population ==\n\n",
+              static_cast<long long>(ticks));
+  std::printf("  %8s  %14s  %14s  %8s  %s\n", "tasks", "engine tick/s", "scan tick/s",
+              "speedup", "identical");
+
+  std::string json = "{\n  \"bench\": \"tick_hot_path\",\n  \"ticks\": " +
+                     std::to_string(static_cast<long long>(ticks)) +
+                     ",\n  \"populations\": [\n";
+  bool all_identical = true;
+  for (std::size_t i = 0; i < kNumPopulations; ++i) {
+    const int tasks = kPopulations[i];
+    const Measurement m = MeasurePopulation(library, tasks, ticks);
+    all_identical = all_identical && m.identical;
+    std::printf("  %8d  %14.0f  %14.0f  %7.2fx  %s\n", tasks, m.engine_ticks_per_second,
+                m.scan_ticks_per_second, m.speedup, m.identical ? "yes" : "NO");
+    char entry[256];
+    std::snprintf(entry, sizeof(entry),
+                  "    {\"tasks\": %d, \"engine_ticks_per_second\": %.0f, "
+                  "\"scan_ticks_per_second\": %.0f, \"speedup\": %.2f, \"identical\": %s}%s\n",
+                  tasks, m.engine_ticks_per_second, m.scan_ticks_per_second, m.speedup,
+                  m.identical ? "true" : "false", i + 1 < kNumPopulations ? "," : "");
+    json += entry;
+  }
+  json += "  ]\n}\n";
+
+  if (!eas::WriteFile(out, json)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
+  if (!all_identical) {
+    std::fprintf(stderr, "ERROR: engine and scan loop diverged\n");
+    return 1;
+  }
+  return 0;
+}

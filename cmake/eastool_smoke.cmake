@@ -63,7 +63,7 @@ if(NOT result EQUAL 0)
   message(FATAL_ERROR "eastool --list-scenarios failed (${result})")
 endif()
 foreach(name paper-mixed paper-homogeneous paper-hot-task short-tasks phase-shift
-        poisson-open-loop trace-replay)
+        poisson-open-loop server-consolidation trace-replay)
   if(NOT listing MATCHES "${name}")
     message(FATAL_ERROR "--list-scenarios is missing ${name}:\n${listing}")
   endif()

@@ -10,6 +10,7 @@ EnergyLoadBalancer::EnergyLoadBalancer(const Options& options) : options_(option
 
 EnergyLoadBalancer::Result EnergyLoadBalancer::Balance(int cpu, BalanceEnv& env) const {
   Result result;
+  env.aggregate_cache().BeginPass();
   for (const SchedDomain* domain : env.domains().DomainsFor(cpu)) {
     const CpuGroup* local_group = domain->GroupOf(cpu);
     if (local_group == nullptr) {
@@ -39,14 +40,14 @@ EnergyLoadBalancer::Result EnergyLoadBalancer::EnergyStep(int cpu, const SchedDo
                                                           BalanceEnv& env) const {
   Result result;
 
+  BalanceAggregateCache& cache = env.aggregate_cache();
   auto rq_ratio = [&env](int c) { return env.RunqueuePowerRatio(c); };
-  auto thermal_ratio = [&env](int c) { return env.ThermalPowerRatio(c); };
 
   // 1. Group with the highest average runqueue power ratio.
   const CpuGroup* hottest_group = nullptr;
   double hottest_ratio = 0.0;
   for (const auto& group : domain.groups) {
-    const double ratio = GroupAverage(group, rq_ratio);
+    const double ratio = cache.RunqueuePowerRatio(group, env);
     if (hottest_group == nullptr || ratio > hottest_ratio) {
       hottest_group = &group;
       hottest_ratio = ratio;
@@ -58,9 +59,9 @@ EnergyLoadBalancer::Result EnergyLoadBalancer::EnergyStep(int cpu, const SchedDo
 
   // 2. Dual condition: hotter (slow thermal metric, hysteresis) AND consuming
   // more (fast runqueue metric, forbids over-pulling).
-  const double local_rq_ratio = GroupAverage(local_group, rq_ratio);
-  const double local_thermal_ratio = GroupAverage(local_group, thermal_ratio);
-  const double remote_thermal_ratio = GroupAverage(*hottest_group, thermal_ratio);
+  const double local_rq_ratio = cache.RunqueuePowerRatio(local_group, env);
+  const double local_thermal_ratio = cache.ThermalPowerRatio(local_group, env);
+  const double remote_thermal_ratio = cache.ThermalPowerRatio(*hottest_group, env);
   if (remote_thermal_ratio <= local_thermal_ratio + options_.thermal_ratio_margin ||
       hottest_ratio <= local_rq_ratio + options_.rq_ratio_margin) {
     return result;
@@ -139,6 +140,7 @@ EnergyLoadBalancer::Result EnergyLoadBalancer::EnergyStep(int cpu, const SchedDo
   if (!env.MigrateTask(hot_task, hottest_cpu, cpu)) {
     return result;
   }
+  cache.Invalidate();
   ++result.energy_migrations;
 
   // 4. Migrate a cool task back if the pull created a load imbalance.
@@ -154,6 +156,7 @@ EnergyLoadBalancer::Result EnergyLoadBalancer::EnergyStep(int cpu, const SchedDo
       }
     }
     if (cool_task != nullptr && env.MigrateTask(cool_task, cpu, hottest_cpu)) {
+      cache.Invalidate();
       ++result.exchange_migrations;
     }
   }
@@ -162,12 +165,12 @@ EnergyLoadBalancer::Result EnergyLoadBalancer::EnergyStep(int cpu, const SchedDo
 
 int EnergyLoadBalancer::LoadStep(int cpu, const SchedDomain& domain, const CpuGroup& local_group,
                                  BalanceEnv& env) const {
-  auto thermal_ratio = [&env](int c) { return env.ThermalPowerRatio(c); };
+  BalanceAggregateCache& cache = env.aggregate_cache();
 
   const CpuGroup* busiest_group = nullptr;
   double busiest_load = 0.0;
   for (const auto& group : domain.groups) {
-    const double load = LoadBalancer::GroupLoad(group, env);
+    const double load = cache.Load(group, env);
     if (busiest_group == nullptr || load > busiest_load) {
       busiest_group = &group;
       busiest_load = load;
@@ -178,9 +181,9 @@ int EnergyLoadBalancer::LoadStep(int cpu, const SchedDomain& domain, const CpuGr
   }
 
   // Energy-aware task selection: pull heat from hotter groups, coolness from
-  // cooler groups, so the load step does not create energy imbalances.
-  const double local_thermal = GroupAverage(local_group, thermal_ratio);
-  const double remote_thermal = GroupAverage(*busiest_group, thermal_ratio);
+  // cooler groups, so the load balancing does not create energy imbalances.
+  const double local_thermal = cache.ThermalPowerRatio(local_group, env);
+  const double remote_thermal = cache.ThermalPowerRatio(*busiest_group, env);
   PullPreference preference = PullPreference::kAny;
   if (remote_thermal > local_thermal + options_.thermal_ratio_margin) {
     preference = PullPreference::kHot;
@@ -188,30 +191,8 @@ int EnergyLoadBalancer::LoadStep(int cpu, const SchedDomain& domain, const CpuGr
     preference = PullPreference::kCool;
   }
 
-  int pulled = 0;
-  while (true) {
-    Runqueue& local = env.runqueue(cpu);
-    Runqueue* busiest = nullptr;
-    for (int remote_cpu : busiest_group->cpus) {
-      Runqueue& rq = env.runqueue(remote_cpu);
-      if (busiest == nullptr || rq.nr_running() > busiest->nr_running()) {
-        busiest = &rq;
-      }
-    }
-    if (busiest == nullptr ||
-        busiest->nr_running() < local.nr_running() + options_.min_load_imbalance) {
-      break;
-    }
-    Task* task = LoadBalancer::PickTask(*busiest, preference);
-    if (task == nullptr) {
-      break;
-    }
-    if (!env.MigrateTask(task, busiest->cpu(), cpu)) {
-      break;
-    }
-    ++pulled;
-  }
-  return pulled;
+  return LoadBalancer::PullFromBusiest(cpu, *busiest_group, preference,
+                                       options_.min_load_imbalance, env);
 }
 
 }  // namespace eas

@@ -21,6 +21,8 @@
 #ifndef SRC_CORE_ENERGY_BALANCER_H_
 #define SRC_CORE_ENERGY_BALANCER_H_
 
+#include <utility>
+
 #include "src/sched/balance_env.h"
 #include "src/sched/load_balancer.h"
 
@@ -59,17 +61,11 @@ class EnergyLoadBalancer {
   // One balancing pass for `cpu` (both steps, every level).
   Result Balance(int cpu, BalanceEnv& env) const;
 
-  // Average of a per-CPU metric over a group.
+  // Average of a per-CPU metric over a group (delegates to the sched-level
+  // definition so the semantics cannot fork).
   template <typename Fn>
   static double GroupAverage(const CpuGroup& group, Fn&& metric) {
-    if (group.cpus.empty()) {
-      return 0.0;
-    }
-    double sum = 0.0;
-    for (int cpu : group.cpus) {
-      sum += metric(cpu);
-    }
-    return sum / static_cast<double>(group.cpus.size());
+    return LoadBalancer::GroupAverage(group, std::forward<Fn>(metric));
   }
 
   const Options& options() const { return options_; }

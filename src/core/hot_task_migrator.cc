@@ -86,10 +86,12 @@ HotTaskMigrator::Result HotTaskMigrator::Check(int cpu, BalanceEnv& env) const {
     if (dest.nr_running() == 1 && dest_task != nullptr &&
         dest_task->profile().power() + options_.exchange_margin_watts <
             hot_task->profile().power()) {
-      if (env.MigrateTask(hot_task, cpu, coolest) && env.MigrateTask(dest_task, coolest, cpu)) {
+      // The two halves are reported independently: if the return exchange
+      // fails, the hot task still moved and the statistics must say so.
+      if (env.MigrateTask(hot_task, cpu, coolest)) {
         result.migrated = true;
-        result.exchanged = true;
         result.destination = coolest;
+        result.exchanged = env.MigrateTask(dest_task, coolest, cpu);
       }
       return result;
     }

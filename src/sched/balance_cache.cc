@@ -1,0 +1,37 @@
+#include "src/sched/balance_cache.h"
+
+#include "src/sched/balance_env.h"
+#include "src/sched/load_balancer.h"
+
+namespace eas {
+
+double BalanceAggregateCache::RunqueuePowerRatio(const CpuGroup& group, const BalanceEnv& env) {
+  Entry& entry = entries_[&group];
+  if (entry.rq_epoch != epoch_) {
+    entry.rq_ratio =
+        LoadBalancer::GroupAverage(group, [&env](int c) { return env.RunqueuePowerRatio(c); });
+    entry.rq_epoch = epoch_;
+  }
+  return entry.rq_ratio;
+}
+
+double BalanceAggregateCache::ThermalPowerRatio(const CpuGroup& group, const BalanceEnv& env) {
+  Entry& entry = entries_[&group];
+  if (entry.thermal_epoch != epoch_) {
+    entry.thermal_ratio =
+        LoadBalancer::GroupAverage(group, [&env](int c) { return env.ThermalPowerRatio(c); });
+    entry.thermal_epoch = epoch_;
+  }
+  return entry.thermal_ratio;
+}
+
+double BalanceAggregateCache::Load(const CpuGroup& group, const BalanceEnv& env) {
+  Entry& entry = entries_[&group];
+  if (entry.load_epoch != epoch_) {
+    entry.load = LoadBalancer::GroupLoad(group, env);
+    entry.load_epoch = epoch_;
+  }
+  return entry.load;
+}
+
+}  // namespace eas

@@ -1,0 +1,65 @@
+// Per-balance-pass cache of CPU-group aggregates.
+//
+// One balancing pass (a single BalancePolicy::Balance call) walks the domain
+// hierarchy bottom-up and repeatedly asks for the same group-level averages:
+// runqueue power ratio, thermal power ratio and load (nr_running). Those
+// aggregates only change when the pass itself migrates a task, so the
+// balancers compute them once per pass through this cache instead of
+// rescanning every group's CPUs at every domain level.
+//
+// Protocol: a balancer calls BeginPass() on entry to Balance() (nothing
+// outside the pass is trusted to keep the cache fresh - task execution and
+// other policies mutate the metrics between passes) and Invalidate() after
+// every migration it performs. Values are computed lazily per group and per
+// metric, with exactly the summation order of the scans they replace, so a
+// cached pass is bit-identical to an uncached one.
+
+#ifndef SRC_SCHED_BALANCE_CACHE_H_
+#define SRC_SCHED_BALANCE_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/topo/sched_domain.h"
+
+namespace eas {
+
+class BalanceEnv;
+
+class BalanceAggregateCache {
+ public:
+  // Starts a fresh pass: every cached value is stale from here on.
+  void BeginPass() { ++epoch_; }
+
+  // Drops all cached values (call after a migration mutated the runqueues).
+  void Invalidate() { ++epoch_; }
+
+  // Average RunqueuePowerRatio over `group`'s CPUs (0 for an empty group).
+  double RunqueuePowerRatio(const CpuGroup& group, const BalanceEnv& env);
+
+  // Average ThermalPowerRatio over `group`'s CPUs (0 for an empty group).
+  double ThermalPowerRatio(const CpuGroup& group, const BalanceEnv& env);
+
+  // Average nr_running over `group`'s CPUs (0 for an empty group) - the
+  // LoadBalancer::GroupLoad metric.
+  double Load(const CpuGroup& group, const BalanceEnv& env);
+
+ private:
+  struct Entry {
+    double rq_ratio = 0.0;
+    double thermal_ratio = 0.0;
+    double load = 0.0;
+    std::uint64_t rq_epoch = 0;
+    std::uint64_t thermal_epoch = 0;
+    std::uint64_t load_epoch = 0;
+  };
+
+  // Groups live in the env's DomainHierarchy, which outlives any pass, so
+  // the group address is a stable key.
+  std::unordered_map<const CpuGroup*, Entry> entries_;
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace eas
+
+#endif  // SRC_SCHED_BALANCE_CACHE_H_

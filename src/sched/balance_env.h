@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "src/sched/balance_cache.h"
 #include "src/sched/runqueue.h"
 #include "src/task/task.h"
 #include "src/topo/cpu_topology.h"
@@ -21,6 +22,11 @@ namespace eas {
 class BalanceEnv {
  public:
   virtual ~BalanceEnv() = default;
+
+  // Per-balance-pass cache of group aggregates. Policies call BeginPass() on
+  // entry to Balance() and Invalidate() after each migration they perform;
+  // see src/sched/balance_cache.h for the protocol.
+  BalanceAggregateCache& aggregate_cache() const { return aggregate_cache_; }
 
   virtual const CpuTopology& topology() const = 0;
   virtual const DomainHierarchy& domains() const = 0;
@@ -54,6 +60,9 @@ class BalanceEnv {
 
   // Total migrations performed so far (for the paper's migration counts).
   virtual std::int64_t migration_count() const = 0;
+
+ private:
+  mutable BalanceAggregateCache aggregate_cache_;
 };
 
 }  // namespace eas

@@ -29,7 +29,37 @@ Task* LoadBalancer::PickTask(const Runqueue& queue, PullPreference preference) {
   return nullptr;
 }
 
+int LoadBalancer::PullFromBusiest(int cpu, const CpuGroup& group, PullPreference preference,
+                                  std::size_t min_imbalance, BalanceEnv& env) {
+  int pulled = 0;
+  while (true) {
+    Runqueue& local = env.runqueue(cpu);
+    Runqueue* busiest = nullptr;
+    for (int remote_cpu : group.cpus) {
+      Runqueue& rq = env.runqueue(remote_cpu);
+      if (busiest == nullptr || rq.nr_running() > busiest->nr_running()) {
+        busiest = &rq;
+      }
+    }
+    if (busiest == nullptr || busiest->nr_running() < local.nr_running() + min_imbalance) {
+      break;
+    }
+    Task* task = PickTask(*busiest, preference);
+    if (task == nullptr) {
+      break;  // only the running task is left; cannot pull it
+    }
+    if (!env.MigrateTask(task, busiest->cpu(), cpu)) {
+      break;
+    }
+    env.aggregate_cache().Invalidate();
+    ++pulled;
+  }
+  return pulled;
+}
+
 int LoadBalancer::Balance(int cpu, BalanceEnv& env) const {
+  BalanceAggregateCache& cache = env.aggregate_cache();
+  cache.BeginPass();
   int pulled = 0;
   for (const SchedDomain* domain : env.domains().DomainsFor(cpu)) {
     const CpuGroup* local_group = domain->GroupOf(cpu);
@@ -41,7 +71,7 @@ int LoadBalancer::Balance(int cpu, BalanceEnv& env) const {
     const CpuGroup* busiest_group = nullptr;
     double busiest_load = 0.0;
     for (const auto& group : domain->groups) {
-      const double load = GroupLoad(group, env);
+      const double load = cache.Load(group, env);
       if (busiest_group == nullptr || load > busiest_load) {
         busiest_group = &group;
         busiest_load = load;
@@ -53,28 +83,8 @@ int LoadBalancer::Balance(int cpu, BalanceEnv& env) const {
 
     // Pull from the longest queue in the busiest group while the imbalance
     // against the local runqueue persists.
-    while (true) {
-      Runqueue& local = env.runqueue(cpu);
-      Runqueue* busiest = nullptr;
-      for (int remote_cpu : busiest_group->cpus) {
-        Runqueue& rq = env.runqueue(remote_cpu);
-        if (busiest == nullptr || rq.nr_running() > busiest->nr_running()) {
-          busiest = &rq;
-        }
-      }
-      if (busiest == nullptr ||
-          busiest->nr_running() < local.nr_running() + options_.min_imbalance) {
-        break;
-      }
-      Task* task = PickTask(*busiest, PullPreference::kAny);
-      if (task == nullptr) {
-        break;  // only the running task is left; cannot pull it
-      }
-      if (!env.MigrateTask(task, busiest->cpu(), cpu)) {
-        break;
-      }
-      ++pulled;
-    }
+    pulled += PullFromBusiest(cpu, *busiest_group, PullPreference::kAny,
+                              options_.min_imbalance, env);
 
     if (pulled > 0) {
       // Imbalance resolved in the lowest domain possible; higher levels run

@@ -44,8 +44,31 @@ class LoadBalancer {
   // Average nr_running over a CPU group.
   static double GroupLoad(const CpuGroup& group, const BalanceEnv& env);
 
+  // Average of a per-CPU metric over a group (0 for an empty group). The one
+  // definition of group-average semantics: the merged energy/load balancer,
+  // the naive strawmen and the balance-aggregate cache all go through it.
+  template <typename Fn>
+  static double GroupAverage(const CpuGroup& group, Fn&& metric) {
+    if (group.cpus.empty()) {
+      return 0.0;
+    }
+    double sum = 0.0;
+    for (int cpu : group.cpus) {
+      sum += metric(cpu);
+    }
+    return sum / static_cast<double>(group.cpus.size());
+  }
+
   // Picks a task from `queue` according to `preference`; nullptr if empty.
   static Task* PickTask(const Runqueue& queue, PullPreference preference);
+
+  // Pulls tasks onto `cpu` from the longest queue in `group` while that
+  // queue exceeds the local one by at least `min_imbalance`, picking per
+  // `preference`. Shared by the baseline balancer and the merged energy/load
+  // balancer's load step so the two pull loops cannot drift. Invalidates
+  // `env`'s aggregate cache after each pull. Returns the tasks pulled.
+  static int PullFromBusiest(int cpu, const CpuGroup& group, PullPreference preference,
+                             std::size_t min_imbalance, BalanceEnv& env);
 
  private:
   Options options_;

@@ -105,6 +105,34 @@ ScenarioSpec PoissonOpenLoop() {
   return spec;
 }
 
+ScenarioSpec ServerConsolidation() {
+  ScenarioSpec spec;
+  spec.description =
+      "Scale stressor: 150+ mostly-sleeping service daemons ramp up over a cool batch floor";
+  spec.config = PaperMachine();
+  spec.config.explicit_max_power_physical = 60.0;
+  auto library = MakeLibrary(spec.config);
+  Workload workload;
+  // A consolidation host: a cool always-on batch floor, then a ramp of
+  // interactive daemons (sshd/bash sleep most of the time) arriving through
+  // the event queue. The task population dwarfs the CPU count, so the
+  // scenario exercises exactly what the tick hot path must not do - per-tick
+  // work proportional to every task ever spawned.
+  for (int i = 0; i < 8; ++i) {
+    workload.Add(library->memrw());
+  }
+  for (int i = 0; i < 104; ++i) {
+    workload.Add(library->sshd(), /*tick=*/static_cast<Tick>(i) * 180);
+  }
+  for (int i = 0; i < 48; ++i) {
+    workload.Add(library->bash(), /*tick=*/static_cast<Tick>(i) * 390);
+  }
+  workload.Retain(library);
+  spec.workload = std::move(workload);
+  spec.options.duration_ticks = 120'000;
+  return spec;
+}
+
 ScenarioSpec TraceReplay() {
   ScenarioSpec spec;
   spec.description = "Trace playback: staged bitcnts burst over a memrw floor";
@@ -154,6 +182,10 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
   registry.Register("poisson-open-loop",
                     "Stressor: open-loop Poisson arrivals (2/s) of the Table 2 mix",
                     PoissonOpenLoop);
+  registry.Register(
+      "server-consolidation",
+      "Scale stressor: 150+ mostly-sleeping service daemons ramp up over a cool batch floor",
+      ServerConsolidation);
   registry.Register("trace-replay", "Trace playback: staged bitcnts burst over a memrw floor",
                     TraceReplay);
 }

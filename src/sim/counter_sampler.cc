@@ -4,12 +4,17 @@ namespace eas {
 
 double CounterSampler::Sample(SimulationState& state, std::size_t physical,
                               const std::vector<int>& active,
-                              const std::vector<EventVector>& events) const {
+                              const std::vector<EventVector>& events) {
   const double static_share = state.estimator().static_power_per_logical();
   double true_dynamic = 0.0;
 
+  if (active_mask_.size() < state.num_cpus()) {
+    active_mask_.resize(state.num_cpus(), 0);
+  }
+
   for (std::size_t i = 0; i < active.size(); ++i) {
     const int cpu = active[i];
+    active_mask_[static_cast<std::size_t>(cpu)] = 1;
     state.counters(cpu).Accumulate(events[i]);
     true_dynamic += state.config().model.DynamicEnergy(events[i]);
 
@@ -26,15 +31,12 @@ double CounterSampler::Sample(SimulationState& state, std::size_t physical,
   const std::size_t siblings = state.config().topology.smt_per_physical();
   for (std::size_t t = 0; t < siblings; ++t) {
     const int cpu = state.config().topology.LogicalId(physical, t);
-    bool is_active = false;
-    for (int a : active) {
-      if (a == cpu) {
-        is_active = true;
-      }
-    }
-    if (!is_active) {
+    if (active_mask_[static_cast<std::size_t>(cpu)] == 0) {
       state.power_state(cpu).AccountEnergy(idle_share * kTickSeconds, kTickSeconds);
     }
+  }
+  for (int cpu : active) {
+    active_mask_[static_cast<std::size_t>(cpu)] = 0;
   }
   return true_dynamic;
 }

@@ -10,6 +10,7 @@
 #define SRC_SIM_COUNTER_SAMPLER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/counters/event_types.h"
@@ -22,7 +23,14 @@ class CounterSampler {
   // Processes one executed tick of `physical`. `events[i]` are the counter
   // events of `active[i]`. Returns the package's true dynamic energy (J).
   double Sample(SimulationState& state, std::size_t physical, const std::vector<int>& active,
-                const std::vector<EventVector>& events) const;
+                const std::vector<EventVector>& events);
+
+ private:
+  // Reusable per-logical-CPU active mask: replaces the O(active x siblings)
+  // membership scan when crediting halt power to inactive siblings. Only the
+  // bits set for this call are touched, and they are cleared before
+  // returning, so the mask stays all-zero between calls.
+  std::vector<std::uint8_t> active_mask_;
 };
 
 }  // namespace eas

@@ -1,0 +1,71 @@
+// Tick-ordered event queues: the hot-path replacement for per-tick scans.
+//
+// The simulator's per-tick work must not grow with the number of tasks that
+// ever existed: sleeper wakeups and workload arrivals are known in advance,
+// so they live in min-heaps keyed (tick, order) and the engine only touches
+// the entries that are due this tick. `order` makes ties deterministic - the
+// wake queue uses the task id (reproducing the old task-table scan order),
+// the arrival queue uses the insertion sequence (reproducing the sorted
+// workload order) - so the event-driven engine is tick-for-tick identical to
+// the scan-based one it replaced (pinned by tests/sim/tick_hot_path_test.cc
+// and tests/sim/engine_pipeline_test.cc).
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace eas {
+
+template <typename Payload>
+class TickEventQueue {
+ public:
+  struct Entry {
+    Tick tick = 0;             // when the event fires
+    std::int64_t order = 0;    // deterministic tie-break within a tick
+    Payload payload{};
+  };
+
+  void Push(Tick tick, std::int64_t order, Payload payload) {
+    heap_.push_back(Entry{tick, order, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), Later);
+  }
+
+  // The entry with the smallest (tick, order), if it is due at `now`;
+  // nullptr when the queue is empty or the earliest event is in the future.
+  const Entry* PeekReady(Tick now) const {
+    if (heap_.empty() || heap_.front().tick > now) {
+      return nullptr;
+    }
+    return &heap_.front();
+  }
+
+  // Removes and returns the earliest entry. Precondition: !empty().
+  Entry Pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    return entry;
+  }
+
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  void Clear() { heap_.clear(); }
+
+ private:
+  // std::push_heap builds a max-heap; "later fires lower" makes it a min-heap
+  // on (tick, order).
+  static bool Later(const Entry& a, const Entry& b) {
+    return a.tick > b.tick || (a.tick == b.tick && a.order > b.order);
+  }
+
+  std::vector<Entry> heap_;
+};
+
+}  // namespace eas
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

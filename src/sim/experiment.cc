@@ -55,6 +55,18 @@ RunResult Experiment::Run(const Workload& workload) {
     ++next;
   }
 
+  // Later arrivals go through the engine's event queue: they spawn at the
+  // start of their tick, before that tick's wakeups, which is exactly when
+  // the chunked stop-and-spawn loop this replaced injected them. An arrival
+  // at or past the end tick never spawns (no tick starts at `now` >= the
+  // duration), matching the old loop's cutoff. Arrival ticks are relative to
+  // the run start: a machine that already ran keeps its tick counter.
+  const Tick start = machine_->now();
+  for (; next < arrivals.size(); ++next) {
+    machine_->state().ScheduleArrival(*arrivals[next].program, arrivals[next].nice,
+                                      start + arrivals[next].tick);
+  }
+
   Accounting::Options accounting_options;
   accounting_options.sample_interval_ticks = options_.sample_interval_ticks;
   Accounting accounting(machine_->state(), accounting_options);
@@ -65,23 +77,11 @@ RunResult Experiment::Run(const Workload& workload) {
   }
 
   machine_->engine().AddObserver(&accounting);
-  Tick now = 0;
-  while (now < options_.duration_ticks) {
-    Tick stop = options_.duration_ticks;
-    if (next < arrivals.size() && arrivals[next].tick < stop) {
-      stop = arrivals[next].tick;
-    }
-    machine_->Run(stop - now);
-    now = stop;
-    if (now >= options_.duration_ticks) {
-      break;  // run over; an arrival at exactly the end tick never spawns
-    }
-    while (next < arrivals.size() && arrivals[next].tick <= now) {
-      machine_->Spawn(*arrivals[next].program, arrivals[next].nice);
-      ++next;
-    }
-  }
+  machine_->Run(options_.duration_ticks);
   machine_->engine().RemoveObserver(&accounting);
+  // Arrivals scheduled at or past the duration are still pending; a later
+  // run on this machine must not inherit them.
+  machine_->state().ClearPendingArrivals();
 
   result.thermal_power = std::move(accounting.thermal_power());
   result.temperature = std::move(accounting.temperature());

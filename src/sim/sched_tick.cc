@@ -2,12 +2,27 @@
 
 namespace eas {
 
+void SchedTick::SpawnArrivals(SimulationState& state) const {
+  TickEventQueue<SimulationState::PendingArrival>& queue = state.arrival_queue();
+  while (queue.PeekReady(state.now()) != nullptr) {
+    const auto entry = queue.Pop();
+    state.Spawn(*entry.payload.program, entry.payload.nice);
+  }
+}
+
 void SchedTick::WakeSleepers(SimulationState& state) const {
-  for (const auto& task : state.tasks()) {
-    if (task->state() == TaskState::kSleeping && task->wake_tick() <= state.now()) {
-      // Wake on the CPU the task last ran on (affinity).
-      state.runqueue(task->cpu()).EnqueueFront(task.get());
+  TickEventQueue<Task*>& queue = state.wake_queue();
+  while (const auto* ready = queue.PeekReady(state.now())) {
+    Task* task = ready->payload;
+    const Tick wake_tick = ready->tick;
+    queue.Pop();
+    // A stale entry - the task was woken by other means and re-slept with a
+    // different wake tick - must not fire; the re-sleep pushed its own entry.
+    if (task->state() != TaskState::kSleeping || task->wake_tick() != wake_tick) {
+      continue;
     }
+    // Wake on the CPU the task last ran on (affinity).
+    state.runqueue(task->cpu()).EnqueueFront(task);
   }
 }
 
@@ -63,8 +78,7 @@ void SchedTick::HandleLifecycle(SimulationState& state, int cpu) const {
   if (sleep > 0) {
     state.CommitPeriod(*task);
     rq.TakeCurrent();
-    task->set_state(TaskState::kSleeping);
-    task->set_wake_tick(state.now() + sleep);
+    state.StartSleep(*task, sleep);
     return;
   }
 

@@ -18,8 +18,17 @@ namespace eas {
 
 class SchedTick {
  public:
+  // Spawns every workload arrival due at the current tick (scheduled through
+  // SimulationState::ScheduleArrival), in schedule order. Runs before
+  // WakeSleepers: an arrival's placement sees the queues as they were at the
+  // end of the previous tick, exactly as the chunked experiment loop this
+  // replaced did.
+  void SpawnArrivals(SimulationState& state) const;
+
   // Moves every sleeping task whose wake tick has arrived back onto the
-  // runqueue it last ran on (wake affinity, Section 4.1).
+  // runqueue it last ran on (wake affinity, Section 4.1). Pops the state's
+  // wake queue instead of scanning the task table: cost scales with the
+  // wakeups due this tick, not with the tasks ever spawned.
   void WakeSleepers(SimulationState& state) const;
 
   // Switches in the next queued task on every idle sibling of `physical`.

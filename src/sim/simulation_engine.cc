@@ -35,6 +35,7 @@ void BalancePhase::Run(SimulationState& state) {
 SimulationEngine::SimulationEngine(const EnergySchedConfig& sched) : balance_(sched) {}
 
 void SimulationEngine::Tick(SimulationState& state) {
+  sched_tick_.SpawnArrivals(state);
   sched_tick_.WakeSleepers(state);
 
   const std::size_t physical = state.num_physical();

@@ -2,6 +2,7 @@
 //
 // One engine tick reproduces the paper's modified kernel tick:
 //
+//   0. SchedTick::SpawnArrivals    - workload arrivals due this tick spawn
 //   1. SchedTick::WakeSleepers     - expired sleeps re-enter their runqueues
 //   2. per physical package:
 //      a. ThrottleGate::GatePackage    - hlt decision on summed thermal power

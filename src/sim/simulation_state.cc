@@ -180,6 +180,18 @@ void SimulationState::CommitPeriod(Task& task) {
   }
 }
 
+void SimulationState::StartSleep(Task& task, Tick duration) {
+  task.set_state(TaskState::kSleeping);
+  task.set_wake_tick(now_ + duration);
+  wake_queue_.Push(task.wake_tick(), task.id(), &task);
+}
+
+void SimulationState::ScheduleArrival(const Program& program, int nice, Tick tick) {
+  arrival_queue_.Push(tick, next_arrival_seq_++, PendingArrival{&program, nice});
+}
+
+void SimulationState::ClearPendingArrivals() { arrival_queue_.Clear(); }
+
 void SimulationState::SwitchInIfIdle(int cpu) {
   Runqueue& rq = runqueue(cpu);
   if (rq.current() != nullptr) {

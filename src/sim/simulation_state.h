@@ -22,6 +22,7 @@
 #include "src/counters/counter_block.h"
 #include "src/counters/energy_estimator.h"
 #include "src/sched/balance_env.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/machine_config.h"
 #include "src/task/binary_registry.h"
 #include "src/thermal/rc_model.h"
@@ -63,6 +64,32 @@ class SimulationState : public BalanceEnv {
 
   // If `cpu` has no current task, switches in the next queued one.
   void SwitchInIfIdle(int cpu);
+
+  // --- event queues (the tick hot path) -------------------------------------
+  //
+  // Sleeper wakeups and workload arrivals are min-heaps keyed (tick, order)
+  // instead of per-tick scans, so a tick's cost scales with the events due,
+  // not with every task ever spawned.
+
+  // Puts `task` (already detached from its runqueue) to sleep for `duration`
+  // ticks and schedules its wakeup. The wake queue is the only wake
+  // mechanism: a task made kSleeping without going through here never wakes.
+  void StartSleep(Task& task, Tick duration);
+
+  // Schedules `program` to be spawned with `nice` at the start of `tick`
+  // (before that tick's wakeups). Insertion order breaks ties.
+  void ScheduleArrival(const Program& program, int nice, Tick tick);
+
+  // Drops arrivals that have not fired yet (end of an experiment run: a
+  // leftover arrival must not leak into a later run on the same machine).
+  void ClearPendingArrivals();
+
+  struct PendingArrival {
+    const Program* program = nullptr;
+    int nice = 0;
+  };
+  TickEventQueue<Task*>& wake_queue() { return wake_queue_; }
+  TickEventQueue<PendingArrival>& arrival_queue() { return arrival_queue_; }
 
   // --- derived quantities ---------------------------------------------------
   std::size_t num_cpus() const { return config_.topology.num_logical(); }
@@ -134,6 +161,13 @@ class SimulationState : public BalanceEnv {
   TaskId next_task_id_ = 1;
   Tick now_ = 0;
   std::int64_t migration_count_ = 0;
+
+  // (wake_tick, task_id)-keyed sleeper wakeups; task-id tie-break reproduces
+  // the task-table scan order this queue replaced.
+  TickEventQueue<Task*> wake_queue_;
+  // (tick, insertion seq)-keyed workload arrivals.
+  TickEventQueue<PendingArrival> arrival_queue_;
+  std::int64_t next_arrival_seq_ = 0;
 };
 
 }  // namespace eas

@@ -123,6 +123,46 @@ TEST(HotTaskMigratorTest, ExchangesWithCoolTask) {
   EXPECT_EQ(env.runqueue(5).nr_running(), 1u);
 }
 
+// Fails the Nth migration request, to model a return exchange that cannot
+// complete after the hot half of the swap already did.
+class FailingMigrateEnv : public FakeEnv {
+ public:
+  using FakeEnv::FakeEnv;
+
+  bool MigrateTask(Task* task, int from, int to) override {
+    ++migrate_calls;
+    if (migrate_calls == fail_on_call) {
+      return false;
+    }
+    return FakeEnv::MigrateTask(task, from, to);
+  }
+
+  int migrate_calls = 0;
+  int fail_on_call = 2;
+};
+
+TEST(HotTaskMigratorTest, ReportsMigrationWhenReturnExchangeFails) {
+  FailingMigrateEnv env(EightCpus(), 40.0);
+  Task* hot = env.AddRunningTask(61.0, 0);
+  env.SetThermalPower(0, 39.5);
+  for (int cpu = 1; cpu < 8; ++cpu) {
+    Task* cool = env.AddRunningTask(38.0, cpu);
+    env.SetThermalPower(cpu, cpu == 5 ? 20.0 : 30.0);
+    (void)cool;
+  }
+  HotTaskMigrator migrator;
+  const auto result = migrator.Check(0, env);
+  // The hot task did move - the statistics must report the completed half of
+  // the swap even though the cool task never came back.
+  EXPECT_TRUE(result.migrated);
+  EXPECT_FALSE(result.exchanged);
+  EXPECT_EQ(result.destination, 5);
+  EXPECT_EQ(hot->cpu(), 5);
+  EXPECT_EQ(env.migrate_calls, 2);
+  EXPECT_EQ(env.runqueue(0).nr_running(), 0u);
+  EXPECT_EQ(env.runqueue(5).nr_running(), 2u);
+}
+
 TEST(HotTaskMigratorTest, NoExchangeWithEquallyHotTask) {
   FakeEnv env(EightCpus(), 40.0);
   env.AddRunningTask(61.0, 0);

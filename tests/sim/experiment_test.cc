@@ -30,6 +30,33 @@ TEST(ExperimentTest, CollectsThermalSeriesPerCpu) {
   EXPECT_DOUBLE_EQ(result.duration_seconds, 2.0);
 }
 
+TEST(ExperimentTest, SecondRunArrivalsAreRelativeToRunStart) {
+  // The machine keeps its tick counter across Run calls; a second run's
+  // mid-run arrivals must still fire relative to that run's start, and
+  // arrivals at or past the duration must not leak into later runs.
+  ProgramLibrary library(EnergyModel::Default());
+  Experiment::Options options;
+  options.duration_ticks = 1'000;
+  Experiment experiment(QuickConfig(), options);
+
+  Workload first;
+  first.Add(library.bitcnts());
+  first.Add(library.memrw(), /*tick=*/5'000);  // past the duration: never spawns
+  experiment.Run(first);
+  EXPECT_EQ(experiment.machine().tasks().size(), 1u);
+
+  Workload second;
+  second.Add(library.memrw(), /*tick=*/100);  // run-relative, not absolute
+  experiment.Run(second);
+  EXPECT_EQ(experiment.machine().now(), 2'000);
+  ASSERT_EQ(experiment.machine().tasks().size(), 2u);
+  // Spawned 100 ticks into the second run: it missed 1'100 of the 2'000
+  // ticks the machine has seen, so its work is well short of a full-run
+  // task's but clearly nonzero.
+  EXPECT_GT(experiment.machine().tasks()[1]->work_done_ticks(), 0.0);
+  EXPECT_LT(experiment.machine().tasks()[1]->work_done_ticks(), 901.0);
+}
+
 TEST(ExperimentTest, RecordsTaskCpuTraceWhenAsked) {
   ProgramLibrary library(EnergyModel::Default());
   Experiment::Options options;

@@ -15,7 +15,7 @@ TEST(ScenarioRegistryTest, GlobalHasAtLeastSixBuiltins) {
   EXPECT_GE(names.size(), 6u);
   for (const char* required :
        {"paper-mixed", "paper-homogeneous", "paper-hot-task", "short-tasks", "phase-shift",
-        "poisson-open-loop", "trace-replay"}) {
+        "poisson-open-loop", "server-consolidation", "trace-replay"}) {
     EXPECT_TRUE(ScenarioRegistry::Global().Contains(required)) << required;
   }
 }
