@@ -56,6 +56,45 @@ foreach(key migrations completions throughput avg_throttled_fraction)
   endif()
 endforeach()
 
+# --- governed happy path: the DVFS layer end to end ---------------------------
+# thermal-stepdown on the capping scenario must run, report the governor and
+# export the frequency columns; --governor none must be accepted and export
+# none of them (the pre-DVFS summary format).
+set(governed_csv ${OUT_DIR}/eastool_smoke_governed.csv)
+file(REMOVE ${governed_csv})
+execute_process(
+  COMMAND ${EASTOOL} --scenario dvfs-vs-throttle --duration-s 20
+          --summary-csv ${governed_csv}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "eastool --scenario dvfs-vs-throttle failed (${result}):\n${stdout}${stderr}")
+endif()
+if(NOT stdout MATCHES "governor:[ ]+thermal-stepdown")
+  message(FATAL_ERROR "governed run does not report its governor:\n${stdout}")
+endif()
+file(READ ${governed_csv} governed_text)
+foreach(key avg_frequency_cpu0 pstate_residency_cpu0_p0)
+  if(NOT governed_text MATCHES "${key},")
+    message(FATAL_ERROR "governed summary CSV is missing ${key}:\n${governed_text}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${EASTOOL} --governor none --workload mixed:2 --duration-s 5
+          --summary-csv ${governed_csv}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "eastool --governor none failed (${result}):\n${stdout}${stderr}")
+endif()
+file(READ ${governed_csv} ungoverned_text)
+if(ungoverned_text MATCHES "avg_frequency")
+  message(FATAL_ERROR "--governor none must not emit DVFS columns:\n${ungoverned_text}")
+endif()
+
 # --- --list-scenarios shows the catalogue ------------------------------------
 execute_process(COMMAND ${EASTOOL} --list-scenarios RESULT_VARIABLE result
                 OUTPUT_VARIABLE listing ERROR_QUIET)
@@ -63,9 +102,22 @@ if(NOT result EQUAL 0)
   message(FATAL_ERROR "eastool --list-scenarios failed (${result})")
 endif()
 foreach(name paper-mixed paper-homogeneous paper-hot-task short-tasks phase-shift
-        poisson-open-loop server-consolidation trace-replay)
+        poisson-open-loop server-consolidation trace-replay dvfs-vs-throttle
+        governor-comparison)
   if(NOT listing MATCHES "${name}")
     message(FATAL_ERROR "--list-scenarios is missing ${name}:\n${listing}")
+  endif()
+endforeach()
+
+# --- --list-governors shows the registry --------------------------------------
+execute_process(COMMAND ${EASTOOL} --list-governors RESULT_VARIABLE result
+                OUTPUT_VARIABLE governors ERROR_QUIET)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "eastool --list-governors failed (${result})")
+endif()
+foreach(name none thermal-stepdown ondemand)
+  if(NOT governors MATCHES "${name}")
+    message(FATAL_ERROR "--list-governors is missing ${name}:\n${governors}")
   endif()
 endforeach()
 
@@ -75,5 +127,8 @@ run_expect_failure("zero-CPU topology" ${EASTOOL} --topology 1:0:1 --duration-s 
 run_expect_failure("unknown policy" ${EASTOOL} --policy no_such_policy --duration-s 1)
 run_expect_failure("unknown scenario" ${EASTOOL} --scenario no-such-scenario --duration-s 1)
 run_expect_failure("bad workload" ${EASTOOL} --workload bogus:3 --duration-s 1)
+run_expect_failure("unknown governor" ${EASTOOL} --governor no-such-governor --duration-s 1)
+run_expect_failure("unknown governor over scenario"
+                   ${EASTOOL} --scenario paper-mixed --governor bogus --duration-s 1)
 
 message(STATUS "eastool smoke test passed")

@@ -27,6 +27,15 @@ class EnergyEstimator {
   // Dynamic energy attributed to a counter diff.
   double EstimateDynamicEnergy(const EventVector& counter_diff) const;
 
+  // Dynamic energy under DVFS: `energy_scale` is the current P-state's
+  // per-event factor (V^2). The simulated kernel knows the P-state it
+  // programmed, so scaling the estimate is fair game (the event counts
+  // themselves already shrink with frequency). Exactly the unscaled
+  // estimate at P0 (scale 1.0).
+  double EstimateDynamicEnergy(const EventVector& counter_diff, double energy_scale) const {
+    return EstimateDynamicEnergy(counter_diff) * energy_scale;
+  }
+
   // Total energy attributed to an execution period: dynamic part plus the
   // static share for `active_ticks` ticks of execution.
   double EstimateEnergy(const EventVector& counter_diff, Tick active_ticks) const;

@@ -30,6 +30,14 @@ class EnergyModel {
   // Dynamic energy (J) for a batch of events.
   double DynamicEnergy(const EventVector& events) const;
 
+  // Dynamic energy under DVFS: `energy_scale` is the P-state's per-event
+  // factor (V^2 - the frequency factor is already in the event count, which
+  // follows execution speed). P0's scale is exactly 1.0, so the result is
+  // bit-identical to the unscaled overload at full speed.
+  double DynamicEnergy(const EventVector& events, double energy_scale) const {
+    return DynamicEnergy(events) * energy_scale;
+  }
+
   // Dynamic power (W) of a task phase emitting `rates` kilo-events per tick.
   double NominalDynamicPower(const EventRates& rates) const;
 

@@ -1,0 +1,74 @@
+#include "src/freq/governor_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/freq/governors.h"
+
+namespace eas {
+
+void RegisterBuiltinGovernors(FrequencyGovernorRegistry& registry) {
+  registry.Register("none", [] { return std::make_unique<NoneGovernor>(); });
+  registry.Register("thermal-stepdown",
+                    [] { return std::make_unique<ThermalStepdownGovernor>(); });
+  registry.Register("ondemand", [] { return std::make_unique<OndemandGovernor>(); });
+}
+
+FrequencyGovernorRegistry& FrequencyGovernorRegistry::Global() {
+  static FrequencyGovernorRegistry* registry = [] {
+    auto* r = new FrequencyGovernorRegistry();
+    RegisterBuiltinGovernors(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool FrequencyGovernorRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<FrequencyGovernor> FrequencyGovernorRegistry::Create(
+    const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return nullptr;
+    }
+    factory = it->second;
+  }
+  return factory();
+}
+
+std::unique_ptr<FrequencyGovernor> FrequencyGovernorRegistry::CreateOrThrow(
+    const std::string& name) const {
+  std::unique_ptr<FrequencyGovernor> governor = Create(name);
+  if (governor == nullptr) {
+    std::string known;
+    for (const std::string& candidate : Names()) {
+      known += known.empty() ? candidate : ", " + candidate;
+    }
+    throw std::invalid_argument("unknown frequency governor \"" + name + "\" (known: " + known +
+                                ")");
+  }
+  return governor;
+}
+
+bool FrequencyGovernorRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.contains(name);
+}
+
+std::vector<std::string> FrequencyGovernorRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace eas

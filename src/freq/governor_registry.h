@@ -1,0 +1,64 @@
+// Name -> factory registry for frequency governors.
+//
+// The FrequencyPhase selects its governor by string
+// (MachineConfig::frequency_governor), so experiments switch DVFS policies
+// from configuration or `eastool --governor` without touching engine code -
+// the exact pattern BalancePolicyRegistry established for balancing
+// policies. Built-in governors ("none", "thermal-stepdown", "ondemand") are
+// registered on first access; additional governors can be registered at
+// runtime. Factories build one instance per physical package, so governors
+// may keep per-package state as plain members.
+
+#ifndef SRC_FREQ_GOVERNOR_REGISTRY_H_
+#define SRC_FREQ_GOVERNOR_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/freq/frequency_governor.h"
+
+namespace eas {
+
+class FrequencyGovernorRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<FrequencyGovernor>()>;
+
+  // The process-wide registry, with the built-in governors pre-registered.
+  static FrequencyGovernorRegistry& Global();
+
+  // Registers `factory` under `name`. Returns false (and leaves the existing
+  // entry) if the name is already taken.
+  bool Register(const std::string& name, Factory factory);
+
+  // Builds the governor registered under `name`; nullptr if unknown.
+  std::unique_ptr<FrequencyGovernor> Create(const std::string& name) const;
+
+  // Like Create, but throws std::invalid_argument naming the known governors
+  // when `name` is unknown - the Machine's fail-fast construction path.
+  std::unique_ptr<FrequencyGovernor> CreateOrThrow(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  // Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  // An empty registry (tests build private ones; Global() is the shared,
+  // builtin-populated instance).
+  FrequencyGovernorRegistry() = default;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+// Registers the built-in governors into `registry` (exposed for tests that
+// build private registries; Global() already includes them).
+void RegisterBuiltinGovernors(FrequencyGovernorRegistry& registry);
+
+}  // namespace eas
+
+#endif  // SRC_FREQ_GOVERNOR_REGISTRY_H_

@@ -1,0 +1,58 @@
+#include "src/freq/governors.h"
+
+namespace eas {
+
+std::size_t NoneGovernor::DecidePState(const GovernorInputs&) { return 0; }
+
+ThermalStepdownGovernor::ThermalStepdownGovernor(Tick update_interval_ticks)
+    : update_interval_ticks_(update_interval_ticks) {}
+
+std::size_t ThermalStepdownGovernor::DecidePState(const GovernorInputs& inputs) {
+  // At most one transition per interval: the thermal-power metric trails the
+  // RC time constant, so reacting every tick would run the whole ladder down
+  // before the metric could respond.
+  if (last_change_tick_ >= 0 && inputs.now - last_change_tick_ < update_interval_ticks_) {
+    return inputs.current_pstate;
+  }
+  if (inputs.thermal_power_watts > inputs.budget_watts &&
+      inputs.current_pstate + 1 < inputs.num_pstates) {
+    last_change_tick_ = inputs.now;
+    return inputs.current_pstate + 1;
+  }
+  // Step up only with hysteresis headroom below the budget - the band
+  // [budget - hysteresis, budget] holds the current state (no flapping),
+  // mirroring the hlt ThrottleController's release margin.
+  if (inputs.thermal_power_watts < inputs.budget_watts - inputs.hysteresis_watts &&
+      inputs.current_pstate > 0) {
+    last_change_tick_ = inputs.now;
+    return inputs.current_pstate - 1;
+  }
+  return inputs.current_pstate;
+}
+
+OndemandGovernor::OndemandGovernor(Tick update_interval_ticks)
+    : update_interval_ticks_(update_interval_ticks) {}
+
+std::size_t OndemandGovernor::DecidePState(const GovernorInputs& inputs) {
+  if (last_decision_tick_ >= 0 && inputs.now - last_decision_tick_ < update_interval_ticks_) {
+    return inputs.current_pstate;
+  }
+  last_decision_tick_ = inputs.now;
+  if (inputs.utilization >= kUpThreshold) {
+    // Load showed up: go straight to full speed (latency matters more than
+    // the power saved by ramping gradually).
+    low_util_decisions_ = 0;
+    return 0;
+  }
+  if (inputs.utilization <= kDownThreshold) {
+    if (++low_util_decisions_ >= kDownHold && inputs.current_pstate + 1 < inputs.num_pstates) {
+      low_util_decisions_ = 0;
+      return inputs.current_pstate + 1;
+    }
+    return inputs.current_pstate;
+  }
+  low_util_decisions_ = 0;
+  return inputs.current_pstate;
+}
+
+}  // namespace eas

@@ -1,0 +1,69 @@
+// The built-in frequency governors.
+//
+//  - "none":             pins P0 forever. The FrequencyPhase special-cases it
+//                        to skip all per-tick work, so a machine with the
+//                        none governor is bit-identical to one predating the
+//                        frequency layer (pinned by the golden tests).
+//  - "thermal-stepdown": caps package power the DVFS way: one P-state deeper
+//                        whenever the package's thermal power exceeds its
+//                        budget, one shallower once it has fallen below the
+//                        budget by the hysteresis margin (the same margin
+//                        hlt throttling uses) - the direct competitor to the
+//                        paper's hlt gate.
+//  - "ondemand":         utilization-driven (the Linux cpufreq idiom): jumps
+//                        to P0 when the package's runnable share is high,
+//                        creeps one state deeper after sustained low
+//                        utilization.
+//
+// All governors are deterministic and self-pace via an update interval: a
+// decision may change the P-state at most once per interval, which both
+// models PLL/VRM relock latency and keeps the thermal feedback loop from
+// flapping through the whole ladder in a handful of ticks.
+
+#ifndef SRC_FREQ_GOVERNORS_H_
+#define SRC_FREQ_GOVERNORS_H_
+
+#include "src/freq/frequency_governor.h"
+
+namespace eas {
+
+class NoneGovernor : public FrequencyGovernor {
+ public:
+  std::size_t DecidePState(const GovernorInputs& inputs) override;
+};
+
+class ThermalStepdownGovernor : public FrequencyGovernor {
+ public:
+  explicit ThermalStepdownGovernor(Tick update_interval_ticks = kDefaultUpdateIntervalTicks);
+
+  std::size_t DecidePState(const GovernorInputs& inputs) override;
+
+  static constexpr Tick kDefaultUpdateIntervalTicks = 50;
+
+ private:
+  Tick update_interval_ticks_;
+  Tick last_change_tick_ = -1;
+};
+
+class OndemandGovernor : public FrequencyGovernor {
+ public:
+  explicit OndemandGovernor(Tick update_interval_ticks = kDefaultUpdateIntervalTicks);
+
+  std::size_t DecidePState(const GovernorInputs& inputs) override;
+
+  static constexpr Tick kDefaultUpdateIntervalTicks = 50;
+  static constexpr double kUpThreshold = 0.75;
+  static constexpr double kDownThreshold = 0.25;
+  // Consecutive low-utilization decisions before a step down: going slower
+  // is cheap to defer, going faster is not (Linux ondemand's asymmetry).
+  static constexpr int kDownHold = 2;
+
+ private:
+  Tick update_interval_ticks_;
+  Tick last_decision_tick_ = -1;
+  int low_util_decisions_ = 0;
+};
+
+}  // namespace eas
+
+#endif  // SRC_FREQ_GOVERNORS_H_

@@ -12,6 +12,12 @@ Accounting::Accounting(const SimulationState& state, const Options& options)
   for (std::size_t phys = 0; phys < state.num_physical(); ++phys) {
     temperature_.Create("phys" + std::to_string(phys));
   }
+  record_frequency_ = state.config().governed();
+  if (record_frequency_) {
+    for (std::size_t phys = 0; phys < state.num_physical(); ++phys) {
+      frequency_.Create("freq" + std::to_string(phys));
+    }
+  }
 }
 
 void Accounting::TraceTask(const Task* task) {
@@ -32,6 +38,11 @@ void Accounting::OnTick(const SimulationState& state) {
   }
   for (std::size_t phys = 0; phys < state.num_physical(); ++phys) {
     temperature_.at(phys).Add(tick, state.Temperature(phys));
+  }
+  if (record_frequency_) {
+    for (std::size_t phys = 0; phys < state.num_physical(); ++phys) {
+      frequency_.at(phys).Add(tick, state.freq_domain(phys).frequency_multiplier());
+    }
   }
   for (std::size_t i = 0; i < traced_.size(); ++i) {
     task_cpu_.at(i).Add(tick, static_cast<double>(SimulationState::TaskCpu(*traced_[i])));

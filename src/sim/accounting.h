@@ -37,6 +37,7 @@ class Accounting : public TickObserver {
   SeriesSet& thermal_power() { return thermal_power_; }
   SeriesSet& temperature() { return temperature_; }
   SeriesSet& task_cpu() { return task_cpu_; }
+  SeriesSet& frequency() { return frequency_; }
 
  private:
   Options options_;
@@ -44,6 +45,11 @@ class Accounting : public TickObserver {
   SeriesSet thermal_power_;
   SeriesSet temperature_;
   SeriesSet task_cpu_;
+  // Per-package DVFS frequency multiplier, sampled on the same grid. Only
+  // created (and sampled) when the state's machine runs a governor other
+  // than "none" - an ungoverned machine's traces stay exactly as before.
+  SeriesSet frequency_;
+  bool record_frequency_ = false;
   std::vector<const Task*> traced_;
 };
 

@@ -133,6 +133,57 @@ ScenarioSpec ServerConsolidation() {
   return spec;
 }
 
+ScenarioSpec DvfsVsThrottle() {
+  ScenarioSpec spec;
+  spec.description =
+      "DVFS half of the capping comparison: paper-hot-task's 40 W cap enforced by the "
+      "thermal-stepdown governor instead of hlt";
+  spec.config = PaperMachine();
+  spec.config.explicit_max_power_physical = 40.0;
+  // The cap is enforced purely by frequency scaling: hlt throttling off,
+  // the governor steps P-states against the same 40 W budget. Run
+  // paper-hot-task (same workload, hlt on, governor none) next to this for
+  // the paper's "frequency scaling vs halting" comparison in one command
+  // each.
+  spec.config.throttling_enabled = false;
+  spec.config.frequency_governor = "thermal-stepdown";
+  auto library = MakeLibrary(spec.config);
+  spec.workload = Workload(HotTaskWorkload(*library, 4));
+  spec.workload.Retain(library);
+  spec.options.record_task_cpu = true;
+  return spec;
+}
+
+ScenarioSpec GovernorComparison() {
+  ScenarioSpec spec;
+  spec.description =
+      "Governor proving ground: bursty mixed workload under a 40 W cap with hlt backstop; "
+      "sweep --governor across none/thermal-stepdown/ondemand";
+  spec.config = PaperMachine();
+  spec.config.explicit_max_power_physical = 40.0;
+  // hlt throttling stays armed as the backstop, so --governor none is the
+  // paper's pure-hlt baseline and any governor shows how much halting it
+  // avoids. The mix alternates hot compute with sleepy daemons to give the
+  // utilization-driven governor real idle troughs to react to.
+  spec.config.throttling_enabled = true;
+  spec.config.frequency_governor = "ondemand";
+  auto library = MakeLibrary(spec.config);
+  Workload workload;
+  for (int i = 0; i < 6; ++i) {
+    workload.Add(library->bitcnts());
+  }
+  for (int i = 0; i < 4; ++i) {
+    workload.Add(library->memrw());
+  }
+  for (int i = 0; i < 24; ++i) {
+    workload.Add(library->sshd(), /*tick=*/static_cast<Tick>(i) * 500);
+  }
+  workload.Retain(library);
+  spec.workload = std::move(workload);
+  spec.options.duration_ticks = 240'000;
+  return spec;
+}
+
 ScenarioSpec TraceReplay() {
   ScenarioSpec spec;
   spec.description = "Trace playback: staged bitcnts burst over a memrw floor";
@@ -188,6 +239,14 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
       ServerConsolidation);
   registry.Register("trace-replay", "Trace playback: staged bitcnts burst over a memrw floor",
                     TraceReplay);
+  registry.Register("dvfs-vs-throttle",
+                    "DVFS half of the capping comparison: paper-hot-task's 40 W cap enforced "
+                    "by the thermal-stepdown governor instead of hlt",
+                    DvfsVsThrottle);
+  registry.Register("governor-comparison",
+                    "Governor proving ground: bursty mixed workload under a 40 W cap with hlt "
+                    "backstop; sweep --governor across none/thermal-stepdown/ondemand",
+                    GovernorComparison);
 }
 
 }  // namespace eas

@@ -6,6 +6,11 @@ double CounterSampler::Sample(SimulationState& state, std::size_t physical,
                               const std::vector<int>& active,
                               const std::vector<EventVector>& events) {
   const double static_share = state.estimator().static_power_per_logical();
+  // DVFS: the P-state's per-event energy factor (V^2). The event counts
+  // already shrank with the frequency multiplier during execution; this is
+  // the voltage part of the f*V^2 dynamic-power law. Exactly 1.0 (and
+  // bit-neutral) for an ungoverned package at P0.
+  const double energy_scale = state.freq_domain(physical).energy_scale();
   double true_dynamic = 0.0;
 
   if (active_mask_.size() < state.num_cpus()) {
@@ -16,11 +21,12 @@ double CounterSampler::Sample(SimulationState& state, std::size_t physical,
     const int cpu = active[i];
     active_mask_[static_cast<std::size_t>(cpu)] = 1;
     state.counters(cpu).Accumulate(events[i]);
-    true_dynamic += state.config().model.DynamicEnergy(events[i]);
+    true_dynamic += state.config().model.DynamicEnergy(events[i], energy_scale);
 
     // Estimated per-tick energy: what the kernel's estimator attributes.
     const double estimated =
-        state.estimator().EstimateDynamicEnergy(events[i]) + static_share * kTickSeconds;
+        state.estimator().EstimateDynamicEnergy(events[i], energy_scale) +
+        static_share * kTickSeconds;
     Task* task = state.runqueue(cpu).current();
     task->AccumulateEnergy(estimated);
     state.power_state(cpu).AccountEnergy(estimated, kTickSeconds);

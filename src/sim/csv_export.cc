@@ -66,6 +66,21 @@ std::string RunSummaryToCsv(const RunResult& result) {
                   result.throttled_fraction[cpu]);
     out += buffer;
   }
+  // DVFS columns are only present when the run was governed (the vectors
+  // stay empty under the "none" governor, keeping ungoverned summaries
+  // byte-identical to the pre-DVFS format).
+  for (std::size_t cpu = 0; cpu < result.average_frequency.size(); ++cpu) {
+    std::snprintf(buffer, sizeof(buffer), "avg_frequency_cpu%zu,%.4f\n", cpu,
+                  result.average_frequency[cpu]);
+    out += buffer;
+  }
+  for (std::size_t cpu = 0; cpu < result.pstate_residency.size(); ++cpu) {
+    for (std::size_t p = 0; p < result.pstate_residency[cpu].size(); ++p) {
+      std::snprintf(buffer, sizeof(buffer), "pstate_residency_cpu%zu_p%zu,%.4f\n", cpu, p,
+                    result.pstate_residency[cpu][p]);
+      out += buffer;
+    }
+  }
   return out;
 }
 

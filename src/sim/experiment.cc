@@ -18,6 +18,17 @@ double RunResult::AverageThrottledFraction() const {
   return sum / static_cast<double>(throttled_fraction.size());
 }
 
+double RunResult::AverageFrequencyMultiplier() const {
+  if (average_frequency.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  for (double f : average_frequency) {
+    sum += f;
+  }
+  return sum / static_cast<double>(average_frequency.size());
+}
+
 double RunResult::MaxThermalSpreadAfter(Tick tick) const {
   // Spread of the thermal power curves, evaluated at each sample time past
   // `tick` (lets tests skip the warm-up transient).
@@ -86,14 +97,39 @@ RunResult Experiment::Run(const Workload& workload) {
   result.thermal_power = std::move(accounting.thermal_power());
   result.temperature = std::move(accounting.temperature());
   result.task_cpu = std::move(accounting.task_cpu());
+  result.frequency = std::move(accounting.frequency());
 
   result.migrations = machine_->migration_count();
   result.completions = machine_->TotalCompletions();
   result.work_done_ticks = machine_->TotalWorkDone();
   result.duration_seconds = TicksToSeconds(options_.duration_ticks);
+  const CpuTopology& topology = machine_->config().topology;
   for (std::size_t cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
-    result.throttled_fraction.push_back(
-        machine_->throttle(static_cast<int>(cpu)).ThrottledFraction());
+    const ThrottleController& logical = machine_->throttle(static_cast<int>(cpu));
+    if (logical.demand_ticks() > 0) {
+      result.throttled_fraction.push_back(logical.ThrottledFraction());
+    } else {
+      // Zero runnable demand the whole run: the per-logical count is 0/N by
+      // construction, which would hide the package halt entirely. Report the
+      // package's halt fraction instead, consistent with what the hlt gate
+      // actually did to this CPU.
+      const std::size_t phys = topology.PhysicalOf(static_cast<int>(cpu));
+      result.throttled_fraction.push_back(
+          machine_->state().package_throttle(phys).ThrottledFraction());
+    }
+  }
+  if (machine_->config().governed()) {
+    for (std::size_t cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
+      const FrequencyDomain& domain =
+          machine_->state().freq_domain(topology.PhysicalOf(static_cast<int>(cpu)));
+      std::vector<double> residency;
+      residency.reserve(domain.table().size());
+      for (std::size_t p = 0; p < domain.table().size(); ++p) {
+        residency.push_back(domain.ResidencyFraction(p));
+      }
+      result.pstate_residency.push_back(std::move(residency));
+      result.average_frequency.push_back(domain.AverageFrequency());
+    }
   }
   return result;
 }

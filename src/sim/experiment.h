@@ -23,14 +23,28 @@ struct RunResult {
   // Logical CPU of every task over time (Figure 9's residency trace);
   // kInvalidCpu while sleeping.
   SeriesSet task_cpu;
+  // Frequency multiplier of every physical package over time. Only recorded
+  // when the machine ran a frequency governor other than "none".
+  SeriesSet frequency;
 
   std::int64_t migrations = 0;
   std::int64_t completions = 0;
   double work_done_ticks = 0.0;
   double duration_seconds = 0.0;
 
-  // Per logical CPU fraction of time spent throttled (Table 3).
+  // Per logical CPU fraction of time spent throttled (Table 3). A CPU that
+  // had runnable demand at some point reports the fraction of run ticks the
+  // package halt kept its task from running; a CPU with zero demand the
+  // whole run reports its package's halt fraction (the hlt duty cycle it
+  // would have experienced), so per-package halt is visible even on
+  // all-sleeper packages.
   std::vector<double> throttled_fraction;
+
+  // DVFS columns, populated only under a governor other than "none": per
+  // logical CPU, the fraction of run ticks its package spent in each
+  // P-state, and the tick-weighted average frequency multiplier.
+  std::vector<std::vector<double>> pstate_residency;
+  std::vector<double> average_frequency;
 
   // Work per second: the throughput measure used for the paper's
   // "increase in throughput" numbers. (Tasks have fixed-size work units, so
@@ -41,6 +55,11 @@ struct RunResult {
   }
 
   double AverageThrottledFraction() const;
+
+  // Mean of the per-CPU average frequency multipliers; 1.0 for an
+  // ungoverned run (no DVFS columns means every package sat at P0).
+  double AverageFrequencyMultiplier() const;
+
   double MaxThermalSpreadAfter(Tick tick) const;
 };
 

@@ -6,11 +6,14 @@
 #include <cstdint>
 #include <optional>
 
+#include <string>
+
 #include "src/core/energy_sched_config.h"
 #include "src/counters/energy_model.h"
 #include "src/task/energy_profile.h"
 #include "src/thermal/cooling_profile.h"
 #include "src/topo/cpu_topology.h"
+#include "src/topo/frequency_domain.h"
 
 namespace eas {
 
@@ -36,6 +39,21 @@ struct MachineConfig {
   // observed (Section 6.1 plots the would-be limit).
   bool throttling_enabled = false;
   double throttle_hysteresis_watts = 0.5;
+
+  // DVFS (the competing power-capping mechanism the paper positions hlt
+  // throttling against): the per-package P-state ladder and the frequency
+  // governor driving it, selected by name through the
+  // FrequencyGovernorRegistry (src/freq). "none" pins every package at P0
+  // and the engine skips the frequency phase entirely, so such a machine is
+  // bit-identical to one predating the frequency layer.
+  PStateTable pstates = PStateTable::Default();
+  std::string frequency_governor = "none";
+
+  // Whether a real governor drives the P-states. The single source of truth
+  // for every "skip the frequency machinery" special case (engine phase,
+  // traces, result columns) - they must all agree for the ungoverned
+  // bit-identity guarantee to hold.
+  bool governed() const { return frequency_governor != "none"; }
 
   // Scheduling policy switches (the paper's contribution vs baseline).
   EnergySchedConfig sched = EnergySchedConfig::EnergyAware();

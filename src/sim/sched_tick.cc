@@ -49,9 +49,11 @@ void SchedTick::SelectActive(const SimulationState& state, std::size_t physical,
 }
 
 void SchedTick::ExecuteActive(SimulationState& state, const std::vector<int>& active,
-                              std::vector<EventVector>& events) const {
+                              std::vector<EventVector>& events,
+                              double frequency_multiplier) const {
   const MachineConfig& config = state.config();
-  const double corun_speed = active.size() >= 2 ? config.smt_corun_speed : 1.0;
+  const double corun_speed =
+      (active.size() >= 2 ? config.smt_corun_speed : 1.0) * frequency_multiplier;
   events.resize(active.size());
   for (std::size_t i = 0; i < active.size(); ++i) {
     Task* task = state.runqueue(active[i]).current();

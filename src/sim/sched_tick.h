@@ -40,10 +40,12 @@ class SchedTick {
                     std::vector<int>& active) const;
 
   // Executes one tick on each active CPU (SMT co-run and cache-warmup
-  // slowdowns applied) and decrements timeslices. `events[i]` receives the
-  // counter events of `active[i]`.
+  // slowdowns applied, everything scaled by the package's DVFS frequency
+  // multiplier - 1.0 when ungoverned) and decrements timeslices. `events[i]`
+  // receives the counter events of `active[i]`.
   void ExecuteActive(SimulationState& state, const std::vector<int>& active,
-                     std::vector<EventVector>& events) const;
+                     std::vector<EventVector>& events,
+                     double frequency_multiplier = 1.0) const;
 
   // End-of-tick lifecycle for `cpu`'s current task: start a blocking sleep,
   // respawn or retire on completion, rotate on timeslice expiry.

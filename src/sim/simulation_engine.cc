@@ -41,10 +41,12 @@ void SimulationEngine::Tick(SimulationState& state) {
   const std::size_t physical = state.num_physical();
   for (std::size_t phys = 0; phys < physical; ++phys) {
     const bool throttled = throttle_gate_.GatePackage(state, phys);
+    frequency_.GovernPackage(state, phys, throttled);
     sched_tick_.SwitchInPackage(state, phys);
     throttle_gate_.AccountCpuTicks(state, phys, throttled);
     sched_tick_.SelectActive(state, phys, throttled, active_);
-    sched_tick_.ExecuteActive(state, active_, events_);
+    sched_tick_.ExecuteActive(state, active_, events_,
+                              state.freq_domain(phys).frequency_multiplier());
     const double true_dynamic = counter_sampler_.Sample(state, phys, active_, events_);
     thermal_stepper_.StepPackage(state, phys, active_.size(), true_dynamic);
     for (int cpu : active_) {

@@ -6,12 +6,15 @@
 //   1. SchedTick::WakeSleepers     - expired sleeps re-enter their runqueues
 //   2. per physical package:
 //      a. ThrottleGate::GatePackage    - hlt decision on summed thermal power
-//      b. SchedTick::SwitchInPackage   - idle siblings pick their next task
-//      c. ThrottleGate::AccountCpuTicks- Table 3 statistics
-//      d. SchedTick::SelectActive / ExecuteActive - run tasks, emit events
-//      e. CounterSampler::Sample       - counters, estimator, energy metrics
-//      f. ThermalStepper::StepPackage  - true power, RC temperature step
-//      g. SchedTick::HandleLifecycle   - blocking / completion / expiry
+//      b. FrequencyPhase::GovernPackage- DVFS governor picks the P-state
+//      c. SchedTick::SwitchInPackage   - idle siblings pick their next task
+//      d. ThrottleGate::AccountCpuTicks- Table 3 statistics
+//      e. SchedTick::SelectActive / ExecuteActive - run tasks at the
+//                                        P-state's speed, emit events
+//      f. CounterSampler::Sample       - counters, estimator, energy metrics
+//                                        (P-state voltage scaling applied)
+//      g. ThermalStepper::StepPackage  - true power, RC temperature step
+//      h. SchedTick::HandleLifecycle   - blocking / completion / expiry
 //   3. BalancePhase::Run           - the registry-selected policy plus hot
 //                                    task migration, on their intervals
 //   4. tick counter advance, then TickObservers (accounting, tracing)
@@ -28,6 +31,7 @@
 #include "src/core/hot_task_migrator.h"
 #include "src/sched/balance_policy.h"
 #include "src/sim/counter_sampler.h"
+#include "src/sim/frequency_phase.h"
 #include "src/sim/sched_tick.h"
 #include "src/sim/simulation_state.h"
 #include "src/sim/thermal_stepper.h"
@@ -80,6 +84,7 @@ class SimulationEngine {
  private:
   SchedTick sched_tick_;
   ThrottleGate throttle_gate_;
+  FrequencyPhase frequency_;
   CounterSampler counter_sampler_;
   ThermalStepper thermal_stepper_;
   BalancePhase balance_;

@@ -47,6 +47,7 @@ SimulationState::SimulationState(const MachineConfig& config)
   }
   for (std::size_t phys = 0; phys < physical; ++phys) {
     thermal_.emplace_back(config_.cooling.ParamsFor(phys));
+    freq_domains_.emplace_back(config_.pstates);
     last_true_power_.push_back(config_.model.halt_power());
     package_throttles_.emplace_back(config_.throttle_hysteresis_watts);
   }
@@ -68,6 +69,15 @@ double SimulationState::RunqueuePower(int cpu) const {
 
 double SimulationState::ThermalPower(int cpu) const {
   return power_states_[static_cast<std::size_t>(cpu)].thermal_power();
+}
+
+double SimulationState::PackageThermalPower(std::size_t physical) const {
+  const std::size_t siblings = config_.topology.smt_per_physical();
+  double sum = 0.0;
+  for (std::size_t t = 0; t < siblings; ++t) {
+    sum += ThermalPower(config_.topology.LogicalId(physical, t));
+  }
+  return sum;
 }
 
 double SimulationState::MaxPower(int cpu) const {

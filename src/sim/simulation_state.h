@@ -96,6 +96,11 @@ class SimulationState : public BalanceEnv {
   std::size_t num_physical() const { return config_.topology.num_physical(); }
   double IdlePowerPerLogical() const;
   double MaxPowerPhysical(std::size_t physical) const;
+
+  // Sum of the sibling thermal powers of a package - the quantity both the
+  // hlt ThrottleGate and the frequency governors compare against the
+  // package budget (one definition, so the two mechanisms cannot drift).
+  double PackageThermalPower(std::size_t physical) const;
   double Temperature(std::size_t physical) const { return thermal_[physical].temperature(); }
   double TruePower(std::size_t physical) const { return last_true_power_[physical]; }
   double TotalWorkDone() const;
@@ -124,6 +129,10 @@ class SimulationState : public BalanceEnv {
     return package_throttles_[physical];
   }
   RcThermalModel& thermal(std::size_t physical) { return thermal_[physical]; }
+  FrequencyDomain& freq_domain(std::size_t physical) { return freq_domains_[physical]; }
+  const FrequencyDomain& freq_domain(std::size_t physical) const {
+    return freq_domains_[physical];
+  }
   void set_true_power(std::size_t physical, double watts) {
     last_true_power_[physical] = watts;
   }
@@ -150,6 +159,7 @@ class SimulationState : public BalanceEnv {
   std::vector<ThrottleController> throttles_;          // per logical (stats)
   std::vector<ThrottleController> package_throttles_;  // per physical (decision)
   std::vector<RcThermalModel> thermal_;                // per physical
+  std::vector<FrequencyDomain> freq_domains_;          // per physical (DVFS)
   std::vector<double> last_true_power_;                // per physical
   std::vector<double> max_power_logical_;              // per logical
 

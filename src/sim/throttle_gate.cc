@@ -6,13 +6,8 @@ bool ThrottleGate::GatePackage(SimulationState& state, std::size_t physical) con
   if (!state.config().throttling_enabled) {
     return false;
   }
-  const std::size_t siblings = state.config().topology.smt_per_physical();
-  double thermal_sum = 0.0;
-  for (std::size_t t = 0; t < siblings; ++t) {
-    thermal_sum += state.ThermalPower(state.config().topology.LogicalId(physical, t));
-  }
   const bool throttled = state.package_throttle(physical).ShouldThrottle(
-      thermal_sum, state.MaxPowerPhysical(physical));
+      state.PackageThermalPower(physical), state.MaxPowerPhysical(physical));
   state.package_throttle(physical).AccountTick(throttled);
   return throttled;
 }
@@ -26,7 +21,7 @@ void ThrottleGate::AccountCpuTicks(SimulationState& state, std::size_t physical,
   for (std::size_t t = 0; t < siblings; ++t) {
     const int cpu = state.config().topology.LogicalId(physical, t);
     const bool wants_to_run = state.runqueue(cpu).current() != nullptr;
-    state.throttle(cpu).AccountTick(throttled && wants_to_run);
+    state.throttle(cpu).AccountTick(throttled && wants_to_run, wants_to_run);
   }
 }
 

@@ -18,10 +18,13 @@ bool ThrottleController::ShouldThrottle(double thermal_power_watts, double max_p
   return throttled_;
 }
 
-void ThrottleController::AccountTick(bool throttled) {
+void ThrottleController::AccountTick(bool throttled, bool had_demand) {
   ++total_ticks_;
   if (throttled) {
     ++throttled_ticks_;
+  }
+  if (had_demand) {
+    ++demand_ticks_;
   }
 }
 
@@ -35,6 +38,7 @@ double ThrottleController::ThrottledFraction() const {
 void ThrottleController::ResetAccounting() {
   throttled_ticks_ = 0;
   total_ticks_ = 0;
+  demand_ticks_ = 0;
 }
 
 }  // namespace eas

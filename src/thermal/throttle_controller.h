@@ -27,11 +27,16 @@ class ThrottleController {
   bool ShouldThrottle(double thermal_power_watts, double max_power_watts);
 
   // Records one tick of outcome (throttled or not) for statistics.
-  void AccountTick(bool throttled);
+  // `had_demand` tracks whether the CPU wanted to run this tick (a task was
+  // queued or current); per-package controllers, where demand is not a
+  // meaningful notion, use the default. Experiment reporting uses the demand
+  // count to tell "never throttled" apart from "never wanted to run".
+  void AccountTick(bool throttled, bool had_demand = true);
 
   bool throttled() const { return throttled_; }
   Tick throttled_ticks() const { return throttled_ticks_; }
   Tick total_ticks() const { return total_ticks_; }
+  Tick demand_ticks() const { return demand_ticks_; }
 
   // Fraction of accounted ticks spent throttled (Table 3's percentages).
   double ThrottledFraction() const;
@@ -43,6 +48,7 @@ class ThrottleController {
   bool throttled_ = false;
   Tick throttled_ticks_ = 0;
   Tick total_ticks_ = 0;
+  Tick demand_ticks_ = 0;
 };
 
 }  // namespace eas

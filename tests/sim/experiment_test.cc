@@ -111,6 +111,51 @@ TEST(ExperimentTest, ThrottledFractionsCollected) {
   EXPECT_GT(result.AverageThrottledFraction(), 0.05);
 }
 
+TEST(ExperimentTest, ZeroDemandCpuReportsPackageHaltFraction) {
+  // Regression: a CPU whose runqueue never held a runnable task used to
+  // report 0.0 throttled even while the hlt gate halted its package every
+  // tick (the per-logical counter only counts "halt blocked my task"
+  // ticks). Such a CPU now reports its package's halt fraction, so
+  // per-package halting stays visible on all-sleeper packages.
+  ProgramLibrary library(EnergyModel::Default());
+  MachineConfig config = QuickConfig();  // two single-thread packages
+  config.throttling_enabled = true;
+  // Below the 13.6 W idle power: every package halts from the first tick
+  // and, with nothing ever executing, never cools below the release margin.
+  config.explicit_max_power_physical = 10.0;
+  config.sched = EnergySchedConfig::Baseline();
+  Experiment::Options options;
+  options.duration_ticks = 2'000;
+  Experiment experiment(config, options);
+  // One task: it occupies one package; the other has zero demand all run.
+  const RunResult result = experiment.Run({&library.bitcnts()});
+
+  ASSERT_EQ(result.throttled_fraction.size(), 2u);
+  const int busy_cpu = SimulationState::TaskCpu(*experiment.machine().tasks()[0]);
+  ASSERT_GE(busy_cpu, 0);
+  const int idle_cpu = 1 - busy_cpu;
+  // The busy CPU's task was blocked every tick; the idle CPU reports the
+  // package duty cycle (also 1.0 here), not the old misleading 0.0.
+  EXPECT_DOUBLE_EQ(result.throttled_fraction[static_cast<std::size_t>(busy_cpu)], 1.0);
+  EXPECT_DOUBLE_EQ(result.throttled_fraction[static_cast<std::size_t>(idle_cpu)], 1.0);
+  EXPECT_DOUBLE_EQ(result.AverageThrottledFraction(), 1.0);
+}
+
+TEST(ExperimentTest, ThrottlingDisabledReportsZeroFractions) {
+  // With the gate disarmed neither the demand path nor the package fallback
+  // may invent throttling.
+  ProgramLibrary library(EnergyModel::Default());
+  MachineConfig config = QuickConfig();
+  config.throttling_enabled = false;
+  Experiment::Options options;
+  options.duration_ticks = 1'000;
+  Experiment experiment(config, options);
+  const RunResult result = experiment.Run({&library.bitcnts()});
+  for (double fraction : result.throttled_fraction) {
+    EXPECT_DOUBLE_EQ(fraction, 0.0);
+  }
+}
+
 TEST(ExperimentTest, SpreadAfterSkipsTransient) {
   RunResult result;
   Series& a = result.thermal_power.Create("a");

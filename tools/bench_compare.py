@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: diff a fresh BENCH_*.json against a committed baseline.
+
+Usage:
+    bench_compare.py --baseline bench/baselines/BENCH_tick_hot_path.json \
+                     --current build/BENCH_tick_hot_path.json [--threshold 0.25]
+
+Compares the throughput-style metrics of the two known bench formats and
+exits non-zero when the current run regresses by more than the threshold
+(default 25%, overridable via --threshold or the BENCH_COMPARE_THRESHOLD
+environment variable - CI runners are noisy, calibrate there, not here):
+
+  tick_hot_path:  engine_ticks_per_second per population row, and the
+                  engine/scan cross-check must still report identical states.
+  sweep_scaling:  single_thread_ticks_per_second, and the sweep must still be
+                  deterministic across thread counts.
+
+Only regressions gate; improvements are reported and pass. To refresh a
+baseline after an intentional change, copy the current file over the
+committed one (the gate prints the exact command).
+
+Stdlib only - no third-party imports.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        sys.exit(f"bench_compare: cannot read {path}: {error}")
+
+
+class Gate:
+    """Collects metric comparisons and renders the verdict."""
+
+    def __init__(self, threshold):
+        self.threshold = threshold
+        self.failures = []
+        self.lines = []
+        self.rates_compared = 0
+
+    def config(self, name, baseline, current):
+        """Run-configuration fields must match exactly - ticks/s measured
+        under different flags are not comparable, and silently gating
+        nothing is worse than failing loudly."""
+        self.lines.append(f"  config {name}: baseline {baseline}, current {current}")
+        if baseline != current:
+            self.failures.append(
+                f"config mismatch on '{name}': baseline ran with {baseline}, current with "
+                f"{current} - align the bench flags or refresh the baseline"
+            )
+
+    def rate(self, name, baseline, current):
+        if baseline <= 0:
+            self.lines.append(f"  {name}: baseline {baseline:.0f} not positive; skipped")
+            return
+        self.rates_compared += 1
+        change = (current - baseline) / baseline
+        verdict = "ok"
+        if change < -self.threshold:
+            verdict = "REGRESSION"
+            self.failures.append(
+                f"{name}: {baseline:.0f} -> {current:.0f} ({change:+.1%}, "
+                f"limit -{self.threshold:.0%})"
+            )
+        self.lines.append(f"  {name}: {baseline:.0f} -> {current:.0f} ({change:+.1%}) {verdict}")
+
+    def invariant(self, name, holds):
+        self.lines.append(f"  {name}: {'ok' if holds else 'VIOLATED'}")
+        if not holds:
+            self.failures.append(f"{name} no longer holds")
+
+
+def compare_tick_hot_path(baseline, current, gate):
+    gate.config("ticks", baseline.get("ticks"), current.get("ticks"))
+    base_rows = {row["tasks"]: row for row in baseline.get("populations", [])}
+    gate.config(
+        "populations",
+        sorted(base_rows),
+        sorted(row["tasks"] for row in current.get("populations", [])),
+    )
+    for row in current.get("populations", []):
+        tasks = row["tasks"]
+        base = base_rows.get(tasks)
+        if base is None:
+            continue  # already failed via the populations config check
+        gate.rate(
+            f"engine_ticks_per_second[tasks={tasks}]",
+            base["engine_ticks_per_second"],
+            row["engine_ticks_per_second"],
+        )
+        gate.invariant(f"engine/scan identical[tasks={tasks}]", row.get("identical", False))
+
+
+def compare_sweep_scaling(baseline, current, gate):
+    for field in ("runs", "duration_ticks"):
+        gate.config(field, baseline.get(field), current.get(field))
+    gate.rate(
+        "single_thread_ticks_per_second",
+        baseline["single_thread_ticks_per_second"],
+        current["single_thread_ticks_per_second"],
+    )
+    gate.invariant(
+        "deterministic_across_threads", current.get("deterministic_across_threads", False)
+    )
+
+
+COMPARATORS = {
+    "tick_hot_path": compare_tick_hot_path,
+    "sweep_scaling": compare_sweep_scaling,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--current", required=True, help="freshly produced JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_COMPARE_THRESHOLD", "0.25")),
+        help="maximum tolerated relative regression (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    bench = current.get("bench")
+    if bench != baseline.get("bench"):
+        sys.exit(
+            f"bench_compare: baseline is '{baseline.get('bench')}' "
+            f"but current is '{bench}' - wrong file pairing?"
+        )
+    comparator = COMPARATORS.get(bench)
+    if comparator is None:
+        sys.exit(f"bench_compare: no comparator for bench '{bench}' "
+                 f"(known: {', '.join(sorted(COMPARATORS))})")
+
+    gate = Gate(args.threshold)
+    comparator(baseline, current, gate)
+    if gate.rates_compared == 0:
+        gate.failures.append("no throughput metrics were compared - the gate gated nothing")
+
+    print(f"bench_compare: {bench} (threshold {gate.threshold:.0%})")
+    for line in gate.lines:
+        print(line)
+    if gate.failures:
+        print("\nFAIL: benchmark regression gate")
+        for failure in gate.failures:
+            print(f"  - {failure}")
+        print(
+            f"\nIf intentional, refresh the baseline:\n"
+            f"  cp {args.current} {args.baseline}"
+        )
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

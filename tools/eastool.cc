@@ -26,6 +26,7 @@
 
 #include "src/base/flags.h"
 #include "src/core/policy_registry.h"
+#include "src/freq/governor_registry.h"
 #include "src/sim/csv_export.h"
 #include "src/sim/scenario.h"
 #include "src/workloads/generators.h"
@@ -45,6 +46,9 @@ void PrintUsage() {
       "                      temp-only = temperature_only; '-' matches '_')\n"
       "  --workload SPEC     mixed:<inst> | homog:<m>,<p>,<b> | hot:<n> | short:<n>\n"
       "                      | trace:<file.csv>   (rows: tick,program[,nice])\n"
+      "  --governor NAME     DVFS frequency governor (default none = P0 pinned;\n"
+      "                      see --list-governors)\n"
+      "  --list-governors    list registered frequency governors and exit\n"
       "  --duration-s SEC    simulated seconds (default 120)\n"
       "  --runs N            expand into an N-seed sweep (default 1)\n"
       "  --threads N         runner threads, 0 = hardware (default 0)\n"
@@ -87,6 +91,9 @@ void PrintResult(const std::string& name, const eas::MachineConfig& config,
   std::printf("migrations:        %lld\n", static_cast<long long>(result.migrations));
   std::printf("completions:       %lld\n", static_cast<long long>(result.completions));
   std::printf("avg throttled:     %.2f%%\n", result.AverageThrottledFraction() * 100);
+  if (!result.average_frequency.empty()) {
+    std::printf("avg frequency:     %.3fx\n", result.AverageFrequencyMultiplier());
+  }
   std::printf("peak thermal:      %.1f W\n", result.thermal_power.MaxValue());
   std::printf("spread (steady):   %.1f W\n",
               result.MaxThermalSpreadAfter(options.duration_ticks / 2));
@@ -104,6 +111,13 @@ int main(int argc, char** argv) {
   if (flags.Has("list-scenarios")) {
     for (const auto& info : eas::ScenarioRegistry::Global().List()) {
       std::printf("%-20s %s\n", info.name.c_str(), info.description.c_str());
+    }
+    return 0;
+  }
+
+  if (flags.Has("list-governors")) {
+    for (const std::string& name : eas::FrequencyGovernorRegistry::Global().Names()) {
+      std::printf("%s\n", name.c_str());
     }
     return 0;
   }
@@ -177,6 +191,20 @@ int main(int argc, char** argv) {
     policy = eas::EffectiveBalancerName(spec.config.sched);
   }
 
+  // --- frequency governor (resolved via the FrequencyGovernorRegistry) ------
+  if (!from_scenario || flags.Has("governor")) {
+    const std::string governor = flags.GetString("governor", "none");
+    if (!eas::FrequencyGovernorRegistry::Global().Contains(governor)) {
+      std::fprintf(stderr, "unknown --governor %s (registered:", governor.c_str());
+      for (const std::string& name : eas::FrequencyGovernorRegistry::Global().Names()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      return 1;
+    }
+    spec.config.frequency_governor = governor;
+  }
+
   // --- workload -------------------------------------------------------------
   if (!from_scenario) {
     auto library = std::make_shared<eas::ProgramLibrary>(spec.config.model);
@@ -229,6 +257,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("policy:            %s\n", policy.c_str());
+  if (spec.config.frequency_governor != "none") {
+    std::printf("governor:          %s\n", spec.config.frequency_governor.c_str());
+  }
   if (from_scenario) {
     std::printf("scenario:          %s\n", flags.GetString("scenario").c_str());
   }
