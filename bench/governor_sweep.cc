@@ -1,10 +1,16 @@
 // Governor x policy sweep: every registered frequency governor under every
 // registered balancing policy, over the governor-comparison scenario (40 W
-// cap, hlt backstop armed), fanned through the parallel ExperimentRunner.
-// This is the one-command energy-balancing-under-DVFS vs hlt-throttling
-// experiment: the "none" rows are the paper's pure-hlt baseline, the
-// governed rows show how much halting each governor trades for lower
-// frequency. Writes BENCH_governors.json; CI runs and uploads it.
+// cap, hlt backstop armed), described as RunRequests and fanned through one
+// RunSession. This is the one-command energy-balancing-under-DVFS vs
+// hlt-throttling experiment: the "none" rows are the paper's pure-hlt
+// baseline, the governed rows show how much halting each governor trades
+// for lower frequency.
+//
+// Writes BENCH_governors.json (JSONL: config header, one record per run
+// with every metric-schema scalar plus the request that reproduces it, a
+// wall-clock trailer). CI gates it against bench/baselines/ with
+// tools/bench_compare.py - the simulation is deterministic, so the per-row
+// throughput values are comparable across machines.
 //
 //   $ bench_governor_sweep [--duration=40000] [--threads=0] [--out=BENCH_governors.json]
 
@@ -14,14 +20,19 @@
 #include <string>
 #include <vector>
 
+#include "src/api/run_session.h"
 #include "src/base/flags.h"
 #include "src/core/policy_registry.h"
 #include "src/freq/governor_registry.h"
-#include "src/sim/csv_export.h"
-#include "src/sim/scenario.h"
 
 int main(int argc, char** argv) {
   const eas::FlagParser flags(argc, argv);
+  const std::vector<std::string> unknown = flags.UnknownFlags({"duration", "threads", "out"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag --%s (known: --duration --threads --out)\n",
+                 unknown.front().c_str());
+    return 1;
+  }
   const eas::Tick duration = flags.GetInt("duration", 40'000);
   const std::size_t threads =
       static_cast<std::size_t>(std::max(0LL, flags.GetInt("threads", 0)));
@@ -30,64 +41,63 @@ int main(int argc, char** argv) {
   const std::vector<std::string> governors = eas::FrequencyGovernorRegistry::Global().Names();
   const std::vector<std::string> policies = eas::BalancePolicyRegistry::Global().Names();
 
-  std::vector<eas::ExperimentSpec> specs;
-  specs.reserve(governors.size() * policies.size());
+  // Every row is a declarative request over the governor-comparison
+  // scenario. Pure-mechanism rows: hlt only on the "none" rows, the
+  // governor alone otherwise - with the backstop armed the gate absorbs
+  // every overshoot before a stepwise governor can react, and all rows
+  // collapse onto the hlt baseline.
+  std::vector<eas::ResolvedRequest> resolved;
   for (const std::string& governor : governors) {
     for (const std::string& policy : policies) {
-      eas::ExperimentSpec spec = eas::ScenarioRegistry::Global()
-                                     .BuildOrThrow("governor-comparison")
-                                     .ToExperimentSpec();
-      spec.name = governor + "/" + policy;
-      spec.config.frequency_governor = governor;
-      // Pure-mechanism rows: hlt only on the "none" rows, the governor alone
-      // otherwise - with the backstop armed the gate absorbs every overshoot
-      // before a stepwise governor can react, and all rows collapse onto the
-      // hlt baseline.
-      spec.config.throttling_enabled = governor == "none";
-      spec.config.sched = eas::SchedConfigForPolicy(policy);
+      eas::RunRequest request = eas::RunRequestForScenario("governor-comparison");
+      request.name = governor + "/" + policy;
+      request.governor = governor;
+      request.policy = policy;
+      request.throttle = governor == "none";
       if (duration > 0) {
-        spec.options.duration_ticks = duration;
+        request.duration_s = static_cast<double>(duration) / 1000.0;
       }
-      specs.push_back(std::move(spec));
+      std::string error;
+      auto r = eas::ResolveRunRequest(request, &error);
+      if (!r.has_value()) {
+        std::fprintf(stderr, "resolve %s: %s\n", request.name.c_str(), error.c_str());
+        return 1;
+      }
+      resolved.push_back(std::move(*r));
     }
   }
 
   std::printf("== governor sweep: %zu governors x %zu policies ==\n\n", governors.size(),
               policies.size());
-  const eas::ExperimentRunner runner(threads);
+
+  eas::JsonlSink jsonl(out);
+  eas::RunSession session(threads);
+  session.AddSink(jsonl);
+  char header[192];
+  std::snprintf(header, sizeof(header),
+                "{\"bench\": \"governor_sweep\", \"scenario\": \"governor-comparison\", "
+                "\"duration_ticks\": %lld, \"threads\": %zu}",
+                static_cast<long long>(duration), session.runner().num_threads());
+  jsonl.AppendLine(header);
+
   const auto start = std::chrono::steady_clock::now();
-  const std::vector<eas::RunResult> results = runner.RunAll(specs);
+  const std::vector<eas::RunRecord> records = session.Run(resolved);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
-  std::string json = "{\n  \"bench\": \"governor_sweep\",\n";
-  char buffer[320];
-  std::snprintf(buffer, sizeof(buffer),
-                "  \"scenario\": \"governor-comparison\",\n"
-                "  \"duration_ticks\": %lld,\n  \"threads\": %zu,\n"
-                "  \"wall_seconds\": %.4f,\n  \"runs\": [\n",
-                static_cast<long long>(duration), runner.num_threads(), elapsed);
-  json += buffer;
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const eas::RunResult& result = results[i];
+  for (const eas::RunRecord& record : records) {
     std::printf("  %-32s %9.1f work-ticks/s  %5.2f%% throttled  %.3fx avg freq\n",
-                specs[i].name.c_str(), result.Throughput(),
-                result.AverageThrottledFraction() * 100, result.AverageFrequencyMultiplier());
-    std::snprintf(buffer, sizeof(buffer),
-                  "    {\"name\": \"%s\", \"throughput\": %.2f, \"migrations\": %lld,\n"
-                  "     \"completions\": %lld, \"avg_throttled_fraction\": %.4f,\n"
-                  "     \"avg_frequency\": %.4f, \"peak_thermal_w\": %.2f}%s\n",
-                  specs[i].name.c_str(), result.Throughput(),
-                  static_cast<long long>(result.migrations),
-                  static_cast<long long>(result.completions), result.AverageThrottledFraction(),
-                  result.AverageFrequencyMultiplier(), result.thermal_power.MaxValue(),
-                  i + 1 < specs.size() ? "," : "");
-    json += buffer;
+                record.spec.name.c_str(), record.result.Throughput(),
+                record.result.AverageThrottledFraction() * 100,
+                record.result.AverageFrequencyMultiplier());
   }
-  json += "  ]\n}\n";
 
-  if (!eas::WriteFile(out, json)) {
-    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+  char trailer[96];
+  std::snprintf(trailer, sizeof(trailer), "{\"wall_seconds\": %.4f}", elapsed);
+  jsonl.AppendLine(trailer);
+  jsonl.Finish();
+  if (!jsonl.ok()) {
+    std::fprintf(stderr, "%s\n", jsonl.error().c_str());
     return 1;
   }
   std::printf("\nwrote %s (%.1f s wall)\n", out.c_str(), elapsed);

@@ -1,7 +1,10 @@
 // Scenario x policy sweep: every registered scenario under every registered
-// balancing policy, fanned through the parallel ExperimentRunner. The
-// cross-product is the "does every workload still behave" regression net -
-// run it per change and compare the BENCH_scenarios.json it writes.
+// balancing policy, described as canned RunRequests and fanned through one
+// RunSession. The cross-product is the "does every workload still behave"
+// regression net - run it per change and compare the BENCH_scenarios.json it
+// writes (JSONL: a config header line, one record per run with every
+// metric-schema scalar plus the request that reproduces it, a wall-clock
+// trailer).
 //
 //   $ bench_scenario_sweep [--duration=40000] [--threads=0] [--out=BENCH_scenarios.json]
 //
@@ -14,73 +17,78 @@
 #include <string>
 #include <vector>
 
+#include "src/api/run_session.h"
 #include "src/base/flags.h"
 #include "src/core/policy_registry.h"
-#include "src/sim/csv_export.h"
 #include "src/sim/scenario.h"
 
 int main(int argc, char** argv) {
   const eas::FlagParser flags(argc, argv);
+  const std::vector<std::string> unknown = flags.UnknownFlags({"duration", "threads", "out"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag --%s (known: --duration --threads --out)\n",
+                 unknown.front().c_str());
+    return 1;
+  }
   const eas::Tick duration = flags.GetInt("duration", 40'000);
   const std::size_t threads =
       static_cast<std::size_t>(std::max(0LL, flags.GetInt("threads", 0)));
   const std::string out = flags.GetString("out", "BENCH_scenarios.json");
 
-  const std::vector<std::string> scenarios = eas::ScenarioRegistry::Global().Names();
   const std::vector<std::string> policies = eas::BalancePolicyRegistry::Global().Names();
 
-  std::vector<eas::ExperimentSpec> specs;
-  specs.reserve(scenarios.size() * policies.size());
-  for (const std::string& scenario : scenarios) {
+  // The whole sweep as data: one canned request per scenario, crossed with
+  // every policy. Any row's "request" field in the output replays that row
+  // via `eastool --request`.
+  std::vector<eas::ResolvedRequest> resolved;
+  for (const eas::RunRequest& canned : eas::CannedScenarioRequests()) {
     for (const std::string& policy : policies) {
-      eas::ExperimentSpec spec =
-          eas::ScenarioRegistry::Global().BuildOrThrow(scenario).ToExperimentSpec();
-      spec.name = scenario + "/" + policy;
-      spec.config.sched = eas::SchedConfigForPolicy(policy);
+      eas::RunRequest request = canned;
+      request.name = request.scenario + "/" + policy;
+      request.policy = policy;
       if (duration > 0) {
-        spec.options.duration_ticks = duration;
+        request.duration_s = static_cast<double>(duration) / 1000.0;
       }
-      specs.push_back(std::move(spec));
+      std::string error;
+      auto r = eas::ResolveRunRequest(request, &error);
+      if (!r.has_value()) {
+        std::fprintf(stderr, "resolve %s: %s\n", request.name.c_str(), error.c_str());
+        return 1;
+      }
+      resolved.push_back(std::move(*r));
     }
   }
 
-  std::printf("== scenario sweep: %zu scenarios x %zu policies ==\n\n", scenarios.size(),
-              policies.size());
-  const eas::ExperimentRunner runner(threads);
+  std::printf("== scenario sweep: %zu scenarios x %zu policies ==\n\n",
+              resolved.size() / policies.size(), policies.size());
+
+  eas::JsonlSink jsonl(out);
+  eas::RunSession session(threads);
+  session.AddSink(jsonl);
+  char header[160];
+  std::snprintf(header, sizeof(header),
+                "{\"bench\": \"scenario_sweep\", \"duration_ticks\": %lld, \"threads\": %zu}",
+                static_cast<long long>(duration), session.runner().num_threads());
+  jsonl.AppendLine(header);
+
   const auto start = std::chrono::steady_clock::now();
-  const std::vector<eas::RunResult> results = runner.RunAll(specs);
+  const std::vector<eas::RunRecord> records = session.Run(resolved);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
-  std::string json = "{\n  \"bench\": \"scenario_sweep\",\n";
-  char buffer[256];
-  std::snprintf(buffer, sizeof(buffer),
-                "  \"duration_ticks\": %lld,\n  \"threads\": %zu,\n"
-                "  \"wall_seconds\": %.4f,\n  \"runs\": [\n",
-                static_cast<long long>(duration), runner.num_threads(), elapsed);
-  json += buffer;
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const eas::RunResult& result = results[i];
+  for (const eas::RunRecord& record : records) {
     std::printf("  %-40s %9.1f work-ticks/s  %5lld migr  %5.2f%% throttled\n",
-                specs[i].name.c_str(), result.Throughput(),
-                static_cast<long long>(result.migrations),
-                result.AverageThrottledFraction() * 100);
-    std::snprintf(buffer, sizeof(buffer),
-                  "    {\"name\": \"%s\", \"throughput\": %.2f, \"migrations\": %lld,\n"
-                  "     \"completions\": %lld, \"avg_throttled_fraction\": %.4f,\n"
-                  "     \"peak_thermal_w\": %.2f, \"steady_spread_w\": %.2f}%s\n",
-                  specs[i].name.c_str(), result.Throughput(),
-                  static_cast<long long>(result.migrations),
-                  static_cast<long long>(result.completions), result.AverageThrottledFraction(),
-                  result.thermal_power.MaxValue(),
-                  result.MaxThermalSpreadAfter(specs[i].options.duration_ticks / 2),
-                  i + 1 < specs.size() ? "," : "");
-    json += buffer;
+                record.spec.name.c_str(), record.result.Throughput(),
+                static_cast<long long>(record.result.migrations),
+                record.result.AverageThrottledFraction() * 100);
   }
-  json += "  ]\n}\n";
 
-  if (!eas::WriteFile(out, json)) {
-    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+  char trailer[96];
+  std::snprintf(trailer, sizeof(trailer), "{\"wall_seconds\": %.4f}", elapsed);
+  jsonl.AppendLine(trailer);
+  jsonl.Finish();
+  if (!jsonl.ok()) {
+    std::fprintf(stderr, "%s\n", jsonl.error().c_str());
     return 1;
   }
   std::printf("\nwrote %s (%.1f s wall)\n", out.c_str(), elapsed);

@@ -11,11 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "src/api/run_request.h"
 #include "src/base/flags.h"
 #include "src/sim/csv_export.h"
-#include "src/sim/experiment_runner.h"
-#include "src/workloads/programs.h"
-#include "src/workloads/workload_builder.h"
 
 namespace {
 
@@ -23,17 +21,27 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
-std::vector<eas::ExperimentSpec> MakeSweep(const eas::ProgramLibrary& library, int runs,
-                                           eas::Tick duration) {
-  eas::ExperimentSpec base;
-  base.name = "sweep";
-  base.config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/false);
-  base.config.cooling = eas::CoolingProfile::PaperXSeries445();
-  base.config.explicit_max_power_physical = 60.0;
-  base.config.estimator_weights = eas::EnergyModel::Default().weights();
-  base.options.duration_ticks = duration;
-  base.workload = eas::MixedWorkload(library, 2);
-  return eas::ExperimentRunner::SeedSweep(base, static_cast<std::size_t>(runs));
+std::vector<eas::ExperimentSpec> MakeSweep(int runs, eas::Tick duration) {
+  // The sweep described as a request (the same one `eastool --request`
+  // would run), then tightened for benching: exact tick count and oracle
+  // estimator weights, so the timing measures the engine, not calibration.
+  eas::RunRequest request;
+  request.name = "sweep";
+  request.workload = "mixed:2";
+  request.max_power = 60.0;
+  request.runs = static_cast<std::uint64_t>(runs);
+  std::string error;
+  auto resolved = eas::ResolveRunRequest(request, &error);
+  if (!resolved.has_value()) {
+    std::fprintf(stderr, "resolve: %s\n", error.c_str());
+    std::exit(1);
+  }
+  std::vector<eas::ExperimentSpec> specs = std::move(resolved->specs);
+  for (eas::ExperimentSpec& spec : specs) {
+    spec.options.duration_ticks = duration;
+    spec.config.estimator_weights = eas::EnergyModel::Default().weights();
+  }
+  return specs;
 }
 
 double TimeSweep(const std::vector<eas::ExperimentSpec>& specs, std::size_t threads,
@@ -53,12 +61,17 @@ double TimeSweep(const std::vector<eas::ExperimentSpec>& specs, std::size_t thre
 
 int main(int argc, char** argv) {
   const eas::FlagParser flags(argc, argv);
+  const std::vector<std::string> unknown = flags.UnknownFlags({"runs", "duration", "out"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag --%s (known: --runs --duration --out)\n",
+                 unknown.front().c_str());
+    return 1;
+  }
   const int runs = std::max(1, static_cast<int>(flags.GetInt("runs", 12)));
   const eas::Tick duration = std::max<eas::Tick>(1, flags.GetInt("duration", 40'000));
   const std::string out = flags.GetString("out", "BENCH_sweep_scaling.json");
 
-  const eas::ProgramLibrary library(eas::EnergyModel::Default());
-  const std::vector<eas::ExperimentSpec> specs = MakeSweep(library, runs, duration);
+  const std::vector<eas::ExperimentSpec> specs = MakeSweep(runs, duration);
   const std::size_t hardware = eas::ExperimentRunner().num_threads();
 
   std::printf("== sweep scaling: %d runs x %lld ticks ==\n\n", runs,

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <string>
 
+#include "src/api/run_request.h"
 #include "src/base/flags.h"
 #include "src/sim/csv_export.h"
 #include "src/sim/scan_reference.h"
@@ -35,12 +36,18 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }
 
 eas::MachineConfig BenchConfig() {
-  eas::MachineConfig config;
-  config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/false);
-  config.cooling = eas::CoolingProfile::PaperXSeries445();
-  config.explicit_max_power_physical = 60.0;
+  // The bench machine as a request (paper topology, 60 W cap, seed 7), then
+  // oracle estimator weights so the timing measures the engine, not
+  // calibration.
+  std::string error;
+  auto resolved = eas::ResolveRunRequest(
+      *eas::ParseRunRequest("max-power = 60; seed = 7", &error), &error);
+  if (!resolved.has_value()) {
+    std::fprintf(stderr, "resolve: %s\n", error.c_str());
+    std::exit(1);
+  }
+  eas::MachineConfig config = resolved->specs.front().config;
   config.estimator_weights = eas::EnergyModel::Default().weights();
-  config.seed = 7;
   return config;
 }
 
@@ -108,6 +115,11 @@ Measurement MeasurePopulation(const eas::ProgramLibrary& library, int tasks, Tic
 
 int main(int argc, char** argv) {
   const eas::FlagParser flags(argc, argv);
+  const std::vector<std::string> unknown = flags.UnknownFlags({"ticks", "out"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag --%s (known: --ticks --out)\n", unknown.front().c_str());
+    return 1;
+  }
   const Tick ticks = std::max<Tick>(1, flags.GetInt("ticks", 2'000));
   const std::string out = flags.GetString("out", "BENCH_tick_hot_path.json");
 

@@ -3,39 +3,43 @@
 //
 //   $ ./quickstart
 //
-// Walks through the public API end to end: MachineConfig -> ExperimentSpec
-// -> ExperimentRunner -> RunResult. The baseline and energy-aware runs
-// execute concurrently on the runner's thread pool.
+// Walks through the public API end to end: a run is *described* as a
+// RunRequest (the same `key = value` text `eastool --request` reads),
+// *resolved* against the registries into runnable specs, and *executed* by
+// a RunSession that streams each completed run to ResultSinks as a
+// RunRecord. The baseline and energy-aware runs execute concurrently on
+// the session's thread pool.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "src/sim/experiment_runner.h"
+#include "src/api/run_session.h"
 #include "src/sim/scenario.h"
-#include "src/workloads/programs.h"
-#include "src/workloads/workload_builder.h"
 
 namespace {
 
-eas::ExperimentSpec MakeSpec(const eas::ProgramLibrary& library, bool energy_aware) {
-  // 1. Describe the machine: the paper's 8-way Xeon (SMT off for clarity),
-  //    heterogeneous cooling, a 60 W per-package power budget. The balancing
-  //    policy is selected by name through the policy registry.
-  eas::ExperimentSpec spec;
-  spec.name = energy_aware ? "energy_aware" : "baseline";
-  spec.config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/false);
-  spec.config.cooling = eas::CoolingProfile::PaperXSeries445();
-  spec.config.explicit_max_power_physical = 60.0;
-  spec.config.sched = energy_aware ? eas::EnergySchedConfig::EnergyAware()
-                                   : eas::EnergySchedConfig::Baseline();
+eas::ResolvedRequest MakeRequest(bool energy_aware) {
+  // 1. Describe the run as data: the paper's 8-way Xeon (SMT off for
+  //    clarity), a 60 W per-package power budget, three instances of each
+  //    Table 2 program, two simulated minutes. The exact same text could
+  //    sit in a file and run via `eastool --request`.
+  const std::string text = std::string("name = ") +
+                           (energy_aware ? "energy_aware" : "baseline") +
+                           "; policy = " + (energy_aware ? "energy_aware" : "load_only") +
+                           "; workload = mixed:3; max-power = 60; duration-s = 120";
+  std::string error;
+  const auto request = eas::ParseRunRequest(text, &error);
 
-  // 2. Build the workload: three instances of each Table 2 program.
-  spec.workload = eas::MixedWorkload(library, /*instances=*/3);
-
-  // 3. Two simulated minutes, sampling thermal power.
-  spec.options.duration_ticks = 120'000;
-  spec.options.sample_interval_ticks = 1'000;
-  return spec;
+  // 2. Resolve it: registry names are validated here, scenario defaults and
+  //    the machine model are filled in, and the request expands into one
+  //    ExperimentSpec per run.
+  const auto resolved = eas::ResolveRunRequest(*request, &error);
+  if (!resolved.has_value()) {
+    std::fprintf(stderr, "resolve: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return *resolved;
 }
 
 }  // namespace
@@ -43,11 +47,14 @@ eas::ExperimentSpec MakeSpec(const eas::ProgramLibrary& library, bool energy_awa
 int main() {
   std::printf("== quickstart: energy-aware scheduling on a simulated 8-way SMP ==\n\n");
 
-  const eas::ProgramLibrary library(eas::EnergyModel::Default());
-  const std::vector<eas::RunResult> results = eas::ExperimentRunner().RunAll(
-      {MakeSpec(library, false), MakeSpec(library, true)});
-  const eas::RunResult& baseline = results[0];
-  const eas::RunResult& balanced = results[1];
+  // 3. Execute: one session runs both requests concurrently and returns a
+  //    RunRecord per run (request + spec + result). Attaching a CsvSink or
+  //    JsonlSink here would stream the records to disk as they complete.
+  const eas::RunSession session;
+  const std::vector<eas::RunRecord> records =
+      session.Run({MakeRequest(false), MakeRequest(true)});
+  const eas::RunResult& baseline = records[0].result;
+  const eas::RunResult& balanced = records[1].result;
 
   const eas::Tick settle = 50'000;  // skip the thermal warm-up
   std::printf("thermal power spread across CPUs (after warm-up):\n");
@@ -64,14 +71,19 @@ int main() {
   std::printf("\nEnergy balancing narrows the band of per-CPU power consumption, so no\n"
               "single CPU approaches its thermal limit while others stay cool.\n");
 
-  // 4. The same experiment, declaratively: every (config, workload, policy)
-  //    bundle above is also available as a named scenario. `eastool
-  //    --list-scenarios` prints this catalogue and `eastool --scenario NAME`
-  //    runs one; here we pull a spec straight from the registry.
-  eas::ExperimentSpec scenario =
-      eas::ScenarioRegistry::Global().BuildOrThrow("paper-mixed").ToExperimentSpec();
-  scenario.options.duration_ticks = 120'000;
-  const eas::RunResult rerun = eas::ExperimentRunner().RunAll({scenario})[0];
+  // 4. The catalogue, declaratively: every registered scenario is also a
+  //    canned request (`eastool --list-scenarios` prints the names,
+  //    `eastool --scenario NAME` runs one). Overriding its duration is one
+  //    field write away.
+  eas::RunRequest scenario = eas::RunRequestForScenario("paper-mixed");
+  scenario.duration_s = 120.0;
+  std::string error;
+  const auto resolved = eas::ResolveRunRequest(scenario, &error);
+  if (!resolved.has_value()) {
+    std::fprintf(stderr, "resolve: %s\n", error.c_str());
+    return 1;
+  }
+  const eas::RunResult rerun = session.Run(*resolved)[0].result;
   std::printf("\nscenario \"paper-mixed\" (same machine, via the ScenarioRegistry):\n");
   std::printf("  spread after warm-up : %5.1f W\n", rerun.MaxThermalSpreadAfter(settle));
   return 0;

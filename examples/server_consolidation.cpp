@@ -4,78 +4,66 @@
 // eats throughput unless the scheduler spreads heat.
 //
 // Demonstrates: per-CPU thermal limits from cooling calibration, throttling
-// accounting, and the throughput effect of the paper's policy (Section 6.2).
+// accounting, and the throughput effect of the paper's policy (Section 6.2)
+// - with the whole experiment described as two RunRequests: the service
+// blend is a declarative `list:` workload spec, the machine (SMT on, 38 C
+// limit, hlt throttling) is four request fields, and both policies run
+// concurrently in one RunSession.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "src/sim/experiment.h"
-#include "src/workloads/programs.h"
+#include "src/api/run_session.h"
 
 namespace {
 
-struct Outcome {
-  double throughput = 0.0;
-  double avg_throttled = 0.0;
-  std::vector<double> per_cpu_throttled;
-};
+eas::ResolvedRequest MakeRequest(bool energy_aware) {
+  eas::RunRequest request;
+  request.name = energy_aware ? "energy-aware" : "baseline";
+  request.policy = energy_aware ? "energy_aware" : "load_only";
+  request.topology = "2:4:2";    // the paper's box with SMT enabled
+  request.temp_limit = 38.0;     // artificial limit -> per-CPU max power
+  request.throttle = true;
+  request.duration_s = 180.0;    // 3 minutes
+  // The consolidation host's service blend: compute-heavy workers, cache/
+  // memory-bound workers, TLS termination, interactive daemons.
+  request.workload = "list:bitcnts*8,memrw*12,openssl*8,sshd*4";
 
-Outcome RunServer(bool energy_aware) {
-  eas::MachineConfig config;
-  config.topology = eas::CpuTopology::PaperXSeries445(/*smt_enabled=*/true);
-  config.cooling = eas::CoolingProfile::PaperXSeries445();
-  config.temp_limit = 38.0;        // artificial limit -> per-CPU max power
-  config.throttling_enabled = true;
-  config.sched = energy_aware ? eas::EnergySchedConfig::EnergyAware()
-                              : eas::EnergySchedConfig::Baseline();
-
-  const eas::ProgramLibrary library(config.model);
-  std::vector<const eas::Program*> services;
-  for (int i = 0; i < 8; ++i) {
-    services.push_back(&library.bitcnts());  // compute-heavy service workers
+  std::string error;
+  const auto resolved = eas::ResolveRunRequest(request, &error);
+  if (!resolved.has_value()) {
+    std::fprintf(stderr, "resolve: %s\n", error.c_str());
+    std::exit(1);
   }
-  for (int i = 0; i < 12; ++i) {
-    services.push_back(&library.memrw());  // cache/memory-bound workers
-  }
-  for (int i = 0; i < 8; ++i) {
-    services.push_back(&library.openssl());  // TLS termination
-  }
-  for (int i = 0; i < 4; ++i) {
-    services.push_back(&library.sshd());  // interactive daemons
-  }
-
-  eas::Experiment::Options options;
-  options.duration_ticks = 180'000;  // 3 minutes
-  eas::Experiment experiment(config, options);
-  const eas::RunResult result = experiment.Run(services);
-
-  Outcome outcome;
-  outcome.throughput = result.Throughput();
-  outcome.avg_throttled = result.AverageThrottledFraction();
-  outcome.per_cpu_throttled = result.throttled_fraction;
-  return outcome;
+  return *resolved;
 }
 
 }  // namespace
 
 int main() {
   std::printf("== server consolidation under a thermal cap (38 C artificial limit) ==\n\n");
-  const Outcome baseline = RunServer(false);
-  const Outcome eas_run = RunServer(true);
+
+  const eas::RunSession session;
+  const std::vector<eas::RunRecord> records =
+      session.Run({MakeRequest(false), MakeRequest(true)});
+  const eas::RunResult& baseline = records[0].result;
+  const eas::RunResult& eas_run = records[1].result;
 
   std::printf("%-28s %14s %14s\n", "", "baseline", "energy-aware");
-  std::printf("%-28s %13.1f%% %13.1f%%\n", "avg CPU throttle time", baseline.avg_throttled * 100,
-              eas_run.avg_throttled * 100);
-  std::printf("%-28s %14.0f %14.0f\n", "throughput (work ticks/s)", baseline.throughput,
-              eas_run.throughput);
+  std::printf("%-28s %13.1f%% %13.1f%%\n", "avg CPU throttle time",
+              baseline.AverageThrottledFraction() * 100,
+              eas_run.AverageThrottledFraction() * 100);
+  std::printf("%-28s %14.0f %14.0f\n", "throughput (work ticks/s)", baseline.Throughput(),
+              eas_run.Throughput());
   std::printf("%-28s %28.1f%%\n", "throughput increase",
-              (eas_run.throughput / baseline.throughput - 1.0) * 100);
+              eas::ThroughputIncrease(baseline, eas_run) * 100);
 
   std::printf("\nper-logical-CPU throttle time (baseline -> energy-aware):\n");
-  for (std::size_t cpu = 0; cpu < baseline.per_cpu_throttled.size(); ++cpu) {
-    if (baseline.per_cpu_throttled[cpu] > 0.001 || eas_run.per_cpu_throttled[cpu] > 0.001) {
-      std::printf("  cpu %2zu: %5.1f%% -> %5.1f%%\n", cpu, baseline.per_cpu_throttled[cpu] * 100,
-                  eas_run.per_cpu_throttled[cpu] * 100);
+  for (std::size_t cpu = 0; cpu < baseline.throttled_fraction.size(); ++cpu) {
+    if (baseline.throttled_fraction[cpu] > 0.001 || eas_run.throttled_fraction[cpu] > 0.001) {
+      std::printf("  cpu %2zu: %5.1f%% -> %5.1f%%\n", cpu,
+                  baseline.throttled_fraction[cpu] * 100, eas_run.throttled_fraction[cpu] * 100);
     }
   }
   std::printf("\nPoorly cooled packages shed their hot tasks to well-cooled ones, cutting\n"

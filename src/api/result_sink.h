@@ -1,0 +1,151 @@
+// ResultSink: where completed runs go.
+//
+// The old surface returned a std::vector<RunResult> and left every caller
+// to hand-roll its own CSV/JSON writing; a sink consumes RunRecords as the
+// RunSession streams them (in record order, as runs complete) and renders
+// one output format:
+//
+//   CsvSink       the summary/trace CSVs eastool always wrote - byte-
+//                 identical for a single run, one row / one trace file per
+//                 run for sweeps
+//   JsonlSink     one JSON object per record (the bench report format)
+//   AsciiPlotSink a thermal-power plot per record on a stdio stream
+//
+// All column names, values and presence rules come from the MetricRegistry
+// (src/sim/metrics.h), so sinks never special-case governed vs ungoverned
+// runs. Lifecycle: Begin(total) before the first record, Consume per
+// record, Finish once by the owner when done (RunSession calls Begin and
+// Consume; callers call Finish, which lets them append trailer content
+// first). File sinks report I/O failure through ok()/error().
+
+#ifndef SRC_API_RESULT_SINK_H_
+#define SRC_API_RESULT_SINK_H_
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/api/run_record.h"
+#include "src/base/ascii_plot.h"
+#include "src/sim/metrics.h"
+
+namespace eas {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  // Called once before the first record with the number of records the
+  // session will emit (sum of every request's runs).
+  virtual void Begin(std::size_t total_records) {}
+
+  // Called once per record, in record order.
+  virtual void Consume(const RunRecord& record) = 0;
+
+  // Called once by the sink's owner after the last record; flushes and
+  // closes. Idempotent.
+  virtual void Finish() {}
+
+  // False after an I/O failure; error() names the path and the offense.
+  virtual bool ok() const { return true; }
+  virtual std::string error() const { return ""; }
+};
+
+// The summary/trace CSV writer.
+//
+// Summary (`summary_path`): for a single-record session, exactly the
+// historical `key,value` format (byte-identical to RunSummaryToCsv). For a
+// multi-record session, a wide table - header `run,name,seed,<metric...>`
+// where the metric columns are the union across every run's schema in
+// first-seen order (so a batch mixing governed and ungoverned runs keeps
+// the DVFS columns), then one row per run; a metric a run lacks renders as
+// an empty cell. The table is assembled in Finish - scalar rows are tiny,
+// so buffering them costs nothing and no run's columns can be lost.
+//
+// Trace (`trace_path`): the per-CPU thermal power trace of every run.
+// Record 0 writes to `trace_path` itself (the historical name); record K>0
+// writes to `trace_path`.runK.
+class CsvSink : public ResultSink {
+ public:
+  CsvSink(std::string summary_path, std::string trace_path);
+
+  void Begin(std::size_t total_records) override;
+  void Consume(const RunRecord& record) override;
+  void Finish() override;
+  bool ok() const override { return error_.empty(); }
+  std::string error() const override { return error_; }
+
+  // The trace file a record index writes to (empty if traces are off).
+  std::string TracePathFor(std::size_t index) const;
+
+ private:
+  // One buffered summary row of the multi-run table.
+  struct Row {
+    std::size_t index = 0;
+    std::string name;
+    std::uint64_t seed = 0;
+    std::vector<MetricValue> metrics;
+  };
+
+  std::string summary_path_;
+  std::string trace_path_;
+  std::size_t total_records_ = 1;
+  std::string summary_;     // single-run summary, accumulated in Consume
+  std::vector<Row> rows_;   // multi-run rows, rendered in Finish
+  bool finished_ = false;
+  std::string error_;
+};
+
+// One JSON object per record: session metadata (name, seed, run index), the
+// originating request as a single `key = value; ...` string (parseable back
+// into a RunRequest), every scalar metric of the run, plus the record-
+// derived peak_thermal_w / steady_spread_w the bench reports always
+// carried. Callers may add
+// their own header/trailer lines around the records with AppendLine - the
+// bench sweeps put their run configuration first and wall-clock totals
+// last.
+class JsonlSink : public ResultSink {
+ public:
+  explicit JsonlSink(std::string path);
+
+  void Begin(std::size_t total_records) override;
+  void Consume(const RunRecord& record) override;
+  void Finish() override;
+  bool ok() const override { return error_.empty(); }
+  std::string error() const override { return error_; }
+
+  // Writes one raw line (a complete JSON object) to the stream. Opens the
+  // stream if Begin has not run yet.
+  void AppendLine(const std::string& json_object);
+
+ private:
+  void EnsureOpen();
+
+  std::string path_;
+  std::ofstream stream_;
+  bool opened_ = false;
+  bool finished_ = false;
+  std::string error_;
+};
+
+// Escapes `text` as the contents of a JSON string literal (quotes not
+// included).
+std::string JsonEscape(const std::string& text);
+
+// Renders each record's thermal-power trace as the paper-style ASCII plot,
+// with a per-run title line. `out` is borrowed, not owned.
+class AsciiPlotSink : public ResultSink {
+ public:
+  explicit AsciiPlotSink(std::FILE* out, PlotOptions options = {});
+
+  void Consume(const RunRecord& record) override;
+
+ private:
+  std::FILE* out_;
+  PlotOptions options_;
+};
+
+}  // namespace eas
+
+#endif  // SRC_API_RESULT_SINK_H_

@@ -1,0 +1,58 @@
+#include "src/api/run_session.h"
+
+#include <utility>
+
+namespace eas {
+
+RunSession::RunSession(std::size_t num_threads) : runner_(num_threads) {}
+
+void RunSession::AddSink(ResultSink& sink) { sinks_.push_back(&sink); }
+
+std::vector<RunRecord> RunSession::Run(const std::vector<ResolvedRequest>& requests) const {
+  // Flatten every request's specs into one sweep, remembering which request
+  // each flat index belongs to.
+  std::vector<ExperimentSpec> specs;
+  std::vector<std::size_t> request_of;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    for (const ExperimentSpec& spec : requests[r].specs) {
+      specs.push_back(spec);
+      request_of.push_back(r);
+    }
+  }
+
+  std::vector<RunRecord> records(specs.size());
+  std::vector<bool> done(specs.size(), false);
+  for (ResultSink* sink : sinks_) {
+    sink->Begin(specs.size());
+  }
+
+  // RunEach serializes this callback, so the reorder bookkeeping needs no
+  // lock of its own: store the completed run, then deliver every record
+  // whose predecessors have all arrived.
+  std::size_t next_emit = 0;
+  runner_.RunEach(specs, [&](std::size_t i, RunResult&& result) {
+    RunRecord& record = records[i];
+    record.request = requests[request_of[i]].request;
+    // The runner is done with spec i once it reports the result, and no
+    // other index aliases it, so the spec (and its possibly large
+    // workload) moves into the record instead of being copied again.
+    record.spec = std::move(specs[i]);
+    record.index = i;
+    record.total = specs.size();
+    record.result = std::move(result);
+    done[i] = true;
+    while (next_emit < records.size() && done[next_emit]) {
+      for (ResultSink* sink : sinks_) {
+        sink->Consume(records[next_emit]);
+      }
+      ++next_emit;
+    }
+  });
+  return records;
+}
+
+std::vector<RunRecord> RunSession::Run(const ResolvedRequest& request) const {
+  return Run(std::vector<ResolvedRequest>{request});
+}
+
+}  // namespace eas

@@ -1,0 +1,53 @@
+// RunSession: execute resolved RunRequests and stream RunRecords to sinks.
+//
+// The session flattens every request's specs into one sweep, fans it across
+// the parallel ExperimentRunner, and delivers each completed run to the
+// attached ResultSinks as a RunRecord - in record order (request order,
+// seeds ascending within a request), as soon as the run and all its
+// predecessors have completed. Sink output is therefore bit-identical for
+// any thread count, while a long sweep still streams: record K is delivered
+// the moment runs 0..K are done, not after the whole sweep.
+//
+//   RunSession session(/*num_threads=*/0);
+//   CsvSink csv("summary.csv", "trace.csv");
+//   session.AddSink(csv);
+//   std::vector<RunRecord> records = session.Run({resolved});
+//   csv.Finish();
+
+#ifndef SRC_API_RUN_SESSION_H_
+#define SRC_API_RUN_SESSION_H_
+
+#include <vector>
+
+#include "src/api/result_sink.h"
+#include "src/api/run_record.h"
+#include "src/api/run_request.h"
+
+namespace eas {
+
+class RunSession {
+ public:
+  // `num_threads` = 0 picks the hardware concurrency.
+  explicit RunSession(std::size_t num_threads = 0);
+
+  // Attaches a sink (borrowed, not owned). The session calls Begin and
+  // Consume; the caller calls Finish when done with the sink.
+  void AddSink(ResultSink& sink);
+
+  // Runs every spec of every request and returns the records in record
+  // order. Failure semantics follow ExperimentRunner::RunEach: records
+  // streamed before the failure stay delivered, the lowest-indexed failed
+  // spec's exception is rethrown after the sweep drains.
+  std::vector<RunRecord> Run(const std::vector<ResolvedRequest>& requests) const;
+  std::vector<RunRecord> Run(const ResolvedRequest& request) const;
+
+  const ExperimentRunner& runner() const { return runner_; }
+
+ private:
+  ExperimentRunner runner_;
+  std::vector<ResultSink*> sinks_;
+};
+
+}  // namespace eas
+
+#endif  // SRC_API_RUN_SESSION_H_

@@ -62,6 +62,23 @@ bool FlagParser::GetBool(const std::string& name, bool fallback) const {
   return false;
 }
 
+std::vector<std::string> FlagParser::UnknownFlags(const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    bool found = false;
+    for (const std::string& candidate : known) {
+      if (name == candidate) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      unknown.push_back(name);  // values_ is an ordered map, so this is sorted
+    }
+  }
+  return unknown;
+}
+
 std::vector<std::string> FlagParser::SplitColons(const std::string& value) {
   std::vector<std::string> fields;
   std::size_t start = 0;

@@ -28,6 +28,11 @@ class FlagParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // Flags that were passed but are not in `known`, sorted. Tools validate
+  // their flag set with this so a typo ("--polcy") is rejected with the
+  // offending flag named instead of being silently ignored.
+  std::vector<std::string> UnknownFlags(const std::vector<std::string>& known) const;
+
   // Splits "a:b:c" into its fields.
   static std::vector<std::string> SplitColons(const std::string& value);
 

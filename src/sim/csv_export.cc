@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/sim/metrics.h"
+
 namespace eas {
 
 std::string SeriesSetToCsv(const SeriesSet& set) {
@@ -44,42 +46,16 @@ std::string SeriesSetToCsv(const SeriesSet& set) {
 }
 
 std::string RunSummaryToCsv(const RunResult& result) {
+  // Rendered from the metric schema: the registry owns the column list, the
+  // order and the per-run presence rules (DVFS columns only appear when the
+  // run was governed), so this stays byte-identical to the historical
+  // hand-rolled format without repeating it.
   std::string out;
-  char buffer[96];
-  std::snprintf(buffer, sizeof(buffer), "migrations,%lld\n",
-                static_cast<long long>(result.migrations));
-  out += buffer;
-  std::snprintf(buffer, sizeof(buffer), "completions,%lld\n",
-                static_cast<long long>(result.completions));
-  out += buffer;
-  std::snprintf(buffer, sizeof(buffer), "work_done_ticks,%.1f\n", result.work_done_ticks);
-  out += buffer;
-  std::snprintf(buffer, sizeof(buffer), "duration_seconds,%.3f\n", result.duration_seconds);
-  out += buffer;
-  std::snprintf(buffer, sizeof(buffer), "throughput,%.2f\n", result.Throughput());
-  out += buffer;
-  std::snprintf(buffer, sizeof(buffer), "avg_throttled_fraction,%.4f\n",
-                result.AverageThrottledFraction());
-  out += buffer;
-  for (std::size_t cpu = 0; cpu < result.throttled_fraction.size(); ++cpu) {
-    std::snprintf(buffer, sizeof(buffer), "throttled_fraction_cpu%zu,%.4f\n", cpu,
-                  result.throttled_fraction[cpu]);
-    out += buffer;
-  }
-  // DVFS columns are only present when the run was governed (the vectors
-  // stay empty under the "none" governor, keeping ungoverned summaries
-  // byte-identical to the pre-DVFS format).
-  for (std::size_t cpu = 0; cpu < result.average_frequency.size(); ++cpu) {
-    std::snprintf(buffer, sizeof(buffer), "avg_frequency_cpu%zu,%.4f\n", cpu,
-                  result.average_frequency[cpu]);
-    out += buffer;
-  }
-  for (std::size_t cpu = 0; cpu < result.pstate_residency.size(); ++cpu) {
-    for (std::size_t p = 0; p < result.pstate_residency[cpu].size(); ++p) {
-      std::snprintf(buffer, sizeof(buffer), "pstate_residency_cpu%zu_p%zu,%.4f\n", cpu, p,
-                    result.pstate_residency[cpu][p]);
-      out += buffer;
-    }
+  for (const MetricValue& metric : MetricRegistry::Global().Scalars(result)) {
+    out += metric.name;
+    out += ',';
+    out += FormatMetricValue(metric);
+    out += '\n';
   }
   return out;
 }

@@ -16,7 +16,10 @@ namespace eas {
 // per series, header row with series names.
 std::string SeriesSetToCsv(const SeriesSet& set);
 
-// Renders the headline scalars of a run as "key,value" lines.
+// Renders the headline scalars of a run as "key,value" lines, in the
+// metric-schema order (src/sim/metrics.h). Kept as the single-run
+// compatibility surface; new code should stream RunRecords into a CsvSink
+// (src/api/result_sink.h), which renders the same schema.
 std::string RunSummaryToCsv(const RunResult& result);
 
 // Writes `contents` to `path`; returns false on I/O failure.

@@ -1,5 +1,6 @@
 #include "src/workloads/workload_builder.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -72,6 +73,50 @@ std::vector<const Program*> ParseWorkloadSpec(const std::string& spec,
     spawn.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
       spawn.push_back(i % 2 == 0 ? &library.short_hot() : &library.short_cool());
+    }
+    return spawn;
+  }
+  if (kind == "list") {
+    // "list:bitcnts*8,memrw*12,sshd" - an explicit spawn list by program
+    // name, each entry optionally repeated with *count. Makes ad-hoc mixes
+    // (e.g. a consolidation host's service blend) declarable in request
+    // files instead of requiring code.
+    std::vector<const Program*> spawn;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+      const std::size_t comma = arg.find(',', start);
+      const std::string entry =
+          arg.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+      if (entry.empty()) {
+        return {};
+      }
+      const std::size_t star = entry.find('*');
+      const std::string name = entry.substr(0, star);
+      long long count = 1;
+      if (star != std::string::npos) {
+        const std::string repeat = entry.substr(star + 1);
+        char* end = nullptr;
+        errno = 0;
+        count = std::strtoll(repeat.c_str(), &end, 10);
+        // Range-checked, unlike a bare atoi: an overflowing or absurd
+        // count must be rejected, not wrapped into a small value or an
+        // attempted multi-billion-entry spawn list.
+        if (repeat.empty() || *end != '\0' || errno == ERANGE || count < 1 ||
+            count > 1'000'000) {
+          return {};
+        }
+      }
+      const Program* program = library.ByName(name);
+      if (program == nullptr) {
+        return {};
+      }
+      for (long long i = 0; i < count; ++i) {
+        spawn.push_back(program);
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      start = comma + 1;
     }
     return spawn;
   }

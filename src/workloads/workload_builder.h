@@ -28,6 +28,8 @@ std::vector<const Program*> HotTaskWorkload(const ProgramLibrary& library, int n
 //   "homog:<memrw>,<pushpop>,<bitcnts>" - HomogeneityWorkload
 //   "hot:<n>"                      - HotTaskWorkload
 //   "short:<n>"                    - alternating short_hot/short_cool tasks
+//   "list:<name>[*<count>],..."    - explicit spawn list by program name
+//                                    (e.g. "list:bitcnts*8,memrw*12,sshd*4")
 // Returns an empty vector for malformed specifications.
 std::vector<const Program*> ParseWorkloadSpec(const std::string& spec,
                                               const ProgramLibrary& library);

@@ -1,0 +1,323 @@
+// RunRequest: the parse/format round trip (including rejection diagnostics
+// for bad keys and values) and the resolve semantics that make a request
+// file reproduce the equivalent flag-driven run exactly.
+
+#include "src/api/run_request.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/sim/scenario.h"
+
+namespace eas {
+namespace {
+
+RunRequest ParseOk(const std::string& text) {
+  std::string error;
+  const auto request = ParseRunRequest(text, &error);
+  EXPECT_TRUE(request.has_value()) << error;
+  return request.value_or(RunRequest{});
+}
+
+std::string ParseError(const std::string& text) {
+  std::string error;
+  const auto request = ParseRunRequest(text, &error);
+  EXPECT_FALSE(request.has_value()) << "parsed: " << FormatRunRequest(*request);
+  return error;
+}
+
+TEST(RunRequestParseTest, ParsesEveryKey) {
+  const RunRequest request = ParseOk(
+      "# a comment\n"
+      "name = my-run\n"
+      "scenario = paper-mixed\n"
+      "topology = 2:4:2\n"
+      "policy = energy_aware\n"
+      "governor = ondemand\n"
+      "duration-s = 60.5\n"
+      "max-power = 40\n"
+      "temp-limit = 38\n"
+      "throttle = true\n"
+      "seed = 7\n"
+      "runs = 3\n");
+  EXPECT_EQ(request.name, "my-run");
+  EXPECT_EQ(request.scenario, "paper-mixed");
+  EXPECT_EQ(request.topology, "2:4:2");
+  EXPECT_EQ(request.policy, "energy_aware");
+  EXPECT_EQ(request.governor, "ondemand");
+  EXPECT_EQ(request.duration_s, 60.5);
+  EXPECT_EQ(request.max_power, 40.0);
+  EXPECT_EQ(request.temp_limit, 38.0);
+  EXPECT_EQ(request.throttle, true);
+  EXPECT_EQ(request.seed, 7u);
+  EXPECT_EQ(request.runs, 3u);
+  EXPECT_FALSE(request.workload.has_value());
+}
+
+TEST(RunRequestParseTest, SemicolonsSeparatePairsOnOneLine) {
+  const RunRequest request = ParseOk("scenario = paper-hot-task; runs = 2; seed = 9");
+  EXPECT_EQ(request.scenario, "paper-hot-task");
+  EXPECT_EQ(request.runs, 2u);
+  EXPECT_EQ(request.seed, 9u);
+}
+
+TEST(RunRequestParseTest, BlankLinesAndCommentsIgnored) {
+  const RunRequest request = ParseOk("\n  \n# only a comment\npolicy = load_only # trailing\n");
+  EXPECT_EQ(request.policy, "load_only");
+}
+
+TEST(RunRequestParseTest, RejectsUnknownKeyNamingIt) {
+  const std::string error = ParseError("polcy = energy_aware\n");
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("unknown key \"polcy\""), std::string::npos) << error;
+  EXPECT_NE(error.find("policy"), std::string::npos) << error;  // lists the known keys
+}
+
+TEST(RunRequestParseTest, RejectsBadValuesNamingLineAndKey) {
+  EXPECT_NE(ParseError("duration-s = fast\n").find("bad value for duration-s"),
+            std::string::npos);
+  EXPECT_NE(ParseError("seed = -3\n").find("bad value for seed"), std::string::npos);
+  EXPECT_NE(ParseError("runs = 2.5\n").find("bad value for runs"), std::string::npos);
+  EXPECT_NE(ParseError("throttle = maybe\n").find("bad value for throttle"),
+            std::string::npos);
+  EXPECT_NE(ParseError("scenario = a\nmax-power = x\n").find("line 2"), std::string::npos);
+}
+
+TEST(RunRequestParseTest, RejectsNonFiniteNumbers) {
+  // strtod accepts nan/inf spellings and overflows to inf; no numeric
+  // request field can mean anything non-finite.
+  EXPECT_NE(ParseError("duration-s = nan\n").find("bad value for duration-s"),
+            std::string::npos);
+  EXPECT_NE(ParseError("max-power = inf\n").find("bad value for max-power"),
+            std::string::npos);
+  EXPECT_NE(ParseError("temp-limit = 1e999\n").find("bad value for temp-limit"),
+            std::string::npos);
+}
+
+TEST(RunRequestParseTest, RejectsMalformedPairs) {
+  EXPECT_NE(ParseError("just words\n").find("expected key = value"), std::string::npos);
+  EXPECT_NE(ParseError("= value\n").find("missing key"), std::string::npos);
+  EXPECT_NE(ParseError("policy =\n").find("empty value"), std::string::npos);
+  EXPECT_NE(ParseError("seed = 1\nseed = 2\n").find("duplicate key \"seed\""),
+            std::string::npos);
+}
+
+TEST(RunRequestApplyFieldTest, SharesTheParserValidation) {
+  // The one-pair entry point eastool's flags use: same keys, same value
+  // strictness as the file parser.
+  RunRequest request;
+  std::string error;
+  EXPECT_TRUE(ApplyRunRequestField("seed", "7", &request, &error)) << error;
+  EXPECT_EQ(request.seed, 7u);
+  EXPECT_TRUE(ApplyRunRequestField("policy", "load_only", &request, &error)) << error;
+
+  EXPECT_FALSE(ApplyRunRequestField("seed", "4z2", &request, &error));
+  EXPECT_NE(error.find("bad value for seed"), std::string::npos) << error;
+  EXPECT_FALSE(ApplyRunRequestField("duration-s", "fast", &request, &error));
+  EXPECT_NE(error.find("bad value for duration-s"), std::string::npos) << error;
+  EXPECT_FALSE(ApplyRunRequestField("polcy", "eas", &request, &error));
+  EXPECT_NE(error.find("unknown key"), std::string::npos) << error;
+  EXPECT_FALSE(ApplyRunRequestField("scenario", "", &request, &error));
+  EXPECT_NE(error.find("empty value"), std::string::npos) << error;
+  EXPECT_EQ(request.seed, 7u);  // failed applies leave the request alone
+}
+
+TEST(RunRequestResolveTest, RejectsValuesTheTextFormatCannotCarry) {
+  // A resolved request must round-trip through Format/Parse unchanged -
+  // that is what makes --print-request files and JSONL-embedded requests
+  // exact reproduction recipes - so values with comment/separator
+  // characters or edge whitespace are rejected up front.
+  std::string error;
+  RunRequest request;
+  request.name = "warm-up #3";
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("bad name"), std::string::npos) << error;
+
+  request = RunRequest{};
+  request.workload = "trace:/data/run #1.csv";
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("bad workload"), std::string::npos) << error;
+
+  request = RunRequest{};
+  request.name = "a;b";
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+
+  request = RunRequest{};
+  request.name = " padded ";
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+}
+
+TEST(RunRequestFormatTest, FormatParseIsIdentity) {
+  RunRequest request;
+  request.name = "probe";
+  request.topology = "1:2:1";
+  request.workload = "hot:4";
+  request.policy = "load_only";
+  request.duration_s = 12.5;
+  request.throttle = false;
+  request.seed = 11;
+  request.runs = 4;
+  const std::string text = FormatRunRequest(request);
+  EXPECT_EQ(ParseOk(text), request);
+  EXPECT_EQ(ParseOk(FormatRunRequestLine(request)), request);
+}
+
+TEST(RunRequestFormatTest, FormatOfParseIsAFixedPoint) {
+  // Whatever spelling the user wrote, one Parse/Format pass canonicalizes
+  // it and further passes change nothing.
+  const std::string messy =
+      "  runs=2 ;seed = 5\n# comment\npolicy   =  energy_aware\nduration-s = 60.0\n";
+  const std::string canonical = FormatRunRequest(ParseOk(messy));
+  EXPECT_EQ(FormatRunRequest(ParseOk(canonical)), canonical);
+  EXPECT_EQ(canonical, "policy = energy_aware\nduration-s = 60\nseed = 5\nruns = 2\n");
+}
+
+TEST(RunRequestFormatTest, DefaultRequestFormatsEmpty) {
+  EXPECT_EQ(FormatRunRequest(RunRequest{}), "");
+  EXPECT_EQ(ParseOk(""), RunRequest{});
+}
+
+TEST(RunRequestResolveTest, DefaultsMatchTheHistoricalCli) {
+  std::string error;
+  const auto resolved = ResolveRunRequest(RunRequest{}, &error);
+  ASSERT_TRUE(resolved.has_value()) << error;
+  ASSERT_EQ(resolved->specs.size(), 1u);
+  const ExperimentSpec& spec = resolved->specs[0];
+  EXPECT_EQ(spec.name, "cli");
+  EXPECT_EQ(spec.config.topology.num_nodes(), 2u);
+  EXPECT_EQ(spec.config.topology.num_logical(), 8u);
+  EXPECT_EQ(spec.config.seed, 42u);
+  EXPECT_EQ(spec.config.temp_limit, 38.0);
+  EXPECT_FALSE(spec.config.throttling_enabled);
+  EXPECT_FALSE(spec.config.explicit_max_power_physical.has_value());
+  EXPECT_EQ(spec.config.frequency_governor, "none");
+  EXPECT_EQ(spec.options.duration_ticks, 120'000);
+  EXPECT_EQ(spec.options.sample_interval_ticks, 500);
+  EXPECT_EQ(spec.workload.size(), 18u);  // mixed:3
+  EXPECT_EQ(resolved->policy, "energy_aware");
+  EXPECT_EQ(resolved->governor, "none");
+}
+
+TEST(RunRequestResolveTest, ScenarioFieldsInheritUnlessOverridden) {
+  // paper-hot-task: 40 W cap, throttling on, 4 bitcnts, task tracing.
+  std::string error;
+  const auto inherited = ResolveRunRequest(RunRequestForScenario("paper-hot-task"), &error);
+  ASSERT_TRUE(inherited.has_value()) << error;
+  EXPECT_TRUE(inherited->specs[0].config.throttling_enabled);
+  EXPECT_EQ(inherited->specs[0].config.explicit_max_power_physical, 40.0);
+  EXPECT_EQ(inherited->specs[0].workload.size(), 4u);
+  EXPECT_EQ(inherited->specs[0].name, "paper-hot-task");
+
+  RunRequest with_overrides = RunRequestForScenario("paper-hot-task");
+  with_overrides.throttle = false;
+  with_overrides.seed = 99;
+  with_overrides.duration_s = 10.0;
+  const auto overridden = ResolveRunRequest(with_overrides, &error);
+  ASSERT_TRUE(overridden.has_value()) << error;
+  EXPECT_FALSE(overridden->specs[0].config.throttling_enabled);
+  EXPECT_EQ(overridden->specs[0].config.seed, 99u);
+  EXPECT_EQ(overridden->specs[0].options.duration_ticks, 10'000);
+  // Untouched scenario fields survive the overrides.
+  EXPECT_EQ(overridden->specs[0].config.explicit_max_power_physical, 40.0);
+  EXPECT_EQ(overridden->specs[0].workload.size(), 4u);
+}
+
+TEST(RunRequestResolveTest, PolicyAliasesNormalize) {
+  RunRequest request;
+  request.policy = "temp-only";
+  std::string error;
+  const auto resolved = ResolveRunRequest(request, &error);
+  ASSERT_TRUE(resolved.has_value()) << error;
+  EXPECT_EQ(resolved->policy, "temperature_only");
+}
+
+TEST(RunRequestResolveTest, RunsExpandIntoASeedSweep) {
+  RunRequest request;
+  request.seed = 10;
+  request.runs = 3;
+  std::string error;
+  const auto resolved = ResolveRunRequest(request, &error);
+  ASSERT_TRUE(resolved.has_value()) << error;
+  ASSERT_EQ(resolved->specs.size(), 3u);
+  EXPECT_EQ(resolved->specs[0].config.seed, 10u);
+  EXPECT_EQ(resolved->specs[2].config.seed, 12u);
+  EXPECT_EQ(resolved->specs[2].name, "cli/seed12");
+}
+
+TEST(RunRequestResolveTest, RejectionsDiagnose) {
+  std::string error;
+  RunRequest request;
+
+  request.scenario = "no-such-scenario";
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("unknown scenario"), std::string::npos) << error;
+  EXPECT_NE(error.find("paper-mixed"), std::string::npos) << error;  // lists known
+
+  request = RunRequest{};
+  request.scenario = "paper-mixed";
+  request.workload = "hot:2";
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("cannot override"), std::string::npos) << error;
+
+  request = RunRequest{};
+  request.topology = "junk:0:x";
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("bad topology"), std::string::npos) << error;
+
+  request = RunRequest{};
+  request.policy = "no_such_policy";
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("unknown policy"), std::string::npos) << error;
+
+  request = RunRequest{};
+  request.governor = "no-such-governor";
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("unknown governor"), std::string::npos) << error;
+
+  request = RunRequest{};
+  request.workload = "bogus:3";
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("bad workload"), std::string::npos) << error;
+
+  request = RunRequest{};
+  request.duration_s = 0.0;
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("bad duration-s"), std::string::npos) << error;
+
+  // Programmatically built requests bypass the parser's finiteness guard;
+  // resolve must repeat it.
+  request = RunRequest{};
+  request.duration_s = std::nan("");
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("bad duration-s"), std::string::npos) << error;
+
+  request = RunRequest{};
+  request.max_power = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("bad max-power"), std::string::npos) << error;
+
+  request = RunRequest{};
+  request.temp_limit = std::nan("");
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("bad temp-limit"), std::string::npos) << error;
+
+  request = RunRequest{};
+  request.runs = 0;
+  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_NE(error.find("bad runs"), std::string::npos) << error;
+}
+
+TEST(RunRequestResolveTest, CannedRequestsCoverTheCatalogue) {
+  const std::vector<RunRequest> canned = CannedScenarioRequests();
+  EXPECT_EQ(canned.size(), ScenarioRegistry::Global().Names().size());
+  for (const RunRequest& request : canned) {
+    std::string error;
+    EXPECT_TRUE(ResolveRunRequest(request, &error).has_value())
+        << request.scenario << ": " << error;
+  }
+}
+
+}  // namespace
+}  // namespace eas

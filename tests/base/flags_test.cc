@@ -61,6 +61,16 @@ TEST(FlagsTest, Positional) {
   EXPECT_EQ(flags.positional()[1], "fast");
 }
 
+TEST(FlagsTest, UnknownFlagsNamesStrays) {
+  const FlagParser flags = Parse({"--policy=eas", "--polcy=oops", "--zeed", "7"});
+  const auto unknown = flags.UnknownFlags({"policy", "seed"});
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0], "polcy");  // sorted (map order)
+  EXPECT_EQ(unknown[1], "zeed");
+  EXPECT_TRUE(Parse({"--policy=eas"}).UnknownFlags({"policy"}).empty());
+  EXPECT_TRUE(Parse({}).UnknownFlags({}).empty());
+}
+
 TEST(FlagsTest, SplitColons) {
   const auto fields = FlagParser::SplitColons("2:4:1");
   ASSERT_EQ(fields.size(), 3u);

@@ -97,6 +97,19 @@ TEST(ExperimentTest, ThroughputIncreaseZeroBaseline) {
   EXPECT_DOUBLE_EQ(ThroughputIncrease(base, test), 0.0);
 }
 
+TEST(ExperimentTest, ThroughputIncreaseZeroWorkBaseline) {
+  // A baseline that ran (positive duration) but did no work also divides by
+  // zero throughput; the defined result is 0.0, not inf/NaN.
+  RunResult base;
+  base.work_done_ticks = 0.0;
+  base.duration_seconds = 5.0;
+  RunResult test;
+  test.work_done_ticks = 10.0;
+  test.duration_seconds = 5.0;
+  EXPECT_DOUBLE_EQ(ThroughputIncrease(base, test), 0.0);
+  EXPECT_DOUBLE_EQ(ThroughputIncrease(base, base), 0.0);
+}
+
 TEST(ExperimentTest, ThrottledFractionsCollected) {
   ProgramLibrary library(EnergyModel::Default());
   MachineConfig config = QuickConfig();

@@ -1,0 +1,104 @@
+// MetricRegistry: the scalar schema's naming, ordering and formatting, the
+// governed-columns presence rule, and extensibility through a private
+// registry.
+
+#include "src/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace eas {
+namespace {
+
+RunResult SampleResult(bool governed) {
+  RunResult result;
+  result.migrations = 3;
+  result.completions = 1;
+  result.work_done_ticks = 1234.5;
+  result.duration_seconds = 2.0;
+  result.throttled_fraction = {0.5};
+  if (governed) {
+    result.average_frequency = {0.9};
+    result.pstate_residency = {{0.25, 0.75}};
+  }
+  return result;
+}
+
+std::vector<std::string> Names(const std::vector<MetricValue>& metrics) {
+  std::vector<std::string> names;
+  for (const MetricValue& metric : metrics) {
+    names.push_back(metric.name);
+  }
+  return names;
+}
+
+TEST(MetricRegistryTest, ScalarsKeepTheHistoricalSummaryOrder) {
+  const std::vector<std::string> names =
+      Names(MetricRegistry::Global().Scalars(SampleResult(false)));
+  const std::vector<std::string> expected = {
+      "migrations",       "completions", "work_done_ticks", "duration_seconds",
+      "throughput",       "avg_throttled_fraction", "throttled_fraction_cpu0"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(MetricRegistryTest, GovernedRunsGrowTheDvfsColumns) {
+  const std::vector<std::string> names =
+      Names(MetricRegistry::Global().Scalars(SampleResult(true)));
+  const std::vector<std::string> expected = {
+      "migrations",          "completions",   "work_done_ticks",
+      "duration_seconds",    "throughput",    "avg_throttled_fraction",
+      "throttled_fraction_cpu0", "avg_frequency_cpu0", "pstate_residency_cpu0_p0",
+      "pstate_residency_cpu0_p1"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(MetricRegistryTest, FormatMatchesTheHistoricalCsvRendering) {
+  const std::vector<MetricValue> metrics =
+      MetricRegistry::Global().Scalars(SampleResult(false));
+  // migrations: integral, no decimals; work_done_ticks %.1f;
+  // duration_seconds %.3f; throughput %.2f; fractions %.4f.
+  EXPECT_EQ(FormatMetricValue(metrics[0]), "3");
+  EXPECT_EQ(FormatMetricValue(metrics[2]), "1234.5");
+  EXPECT_EQ(FormatMetricValue(metrics[3]), "2.000");
+  EXPECT_EQ(FormatMetricValue(metrics[4]), "617.25");
+  EXPECT_EQ(FormatMetricValue(metrics[6]), "0.5000");
+}
+
+TEST(MetricRegistryTest, SeriesColumnsExposeEveryTraceFamily) {
+  const auto series = MetricRegistry::Global().Series();
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[0].name, "thermal_power");
+  EXPECT_EQ(series[3].name, "frequency");
+
+  RunResult result = SampleResult(false);
+  result.thermal_power.Create("cpu0").Add(0, 1.0);
+  EXPECT_EQ(series[0].series(result).size(), 1u);
+  EXPECT_EQ(series[3].series(result).size(), 0u);  // ungoverned: no frequency trace
+}
+
+TEST(MetricRegistryTest, PrivateRegistriesExtendTheSchema) {
+  MetricRegistry registry;
+  RegisterBuiltinMetrics(registry);
+  registry.RegisterScalar("peak_thermal_w",
+                          [](const RunResult& r, std::vector<MetricValue>& out) {
+                            MetricValue metric;
+                            metric.name = "peak_thermal_w";
+                            metric.value = r.thermal_power.MaxValue();
+                            metric.precision = 2;
+                            out.push_back(metric);
+                          });
+  RunResult result = SampleResult(false);
+  result.thermal_power.Create("cpu0").Add(0, 61.25);
+  const std::vector<MetricValue> metrics = registry.Scalars(result);
+  ASSERT_FALSE(metrics.empty());
+  EXPECT_EQ(metrics.back().name, "peak_thermal_w");
+  EXPECT_EQ(FormatMetricValue(metrics.back()), "61.25");
+  // The global schema is untouched by the private registration.
+  const auto global = Names(MetricRegistry::Global().Scalars(result));
+  EXPECT_EQ(global.back(), "throttled_fraction_cpu0");
+}
+
+}  // namespace
+}  // namespace eas

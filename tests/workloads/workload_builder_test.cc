@@ -77,6 +77,29 @@ TEST_F(WorkloadBuilderTest, ParseSpecHotAndShort) {
   EXPECT_EQ(shorts[1], &library_.short_cool());
 }
 
+TEST_F(WorkloadBuilderTest, ParseSpecList) {
+  const auto spawn = ParseWorkloadSpec("list:bitcnts*2,memrw,sshd*3", library_);
+  ASSERT_EQ(spawn.size(), 6u);
+  EXPECT_EQ(spawn[0], &library_.bitcnts());
+  EXPECT_EQ(spawn[1], &library_.bitcnts());
+  EXPECT_EQ(spawn[2], &library_.memrw());
+  EXPECT_EQ(spawn[3], &library_.sshd());
+  EXPECT_EQ(spawn[5], &library_.sshd());
+}
+
+TEST_F(WorkloadBuilderTest, ParseSpecListRejectsMalformed) {
+  EXPECT_TRUE(ParseWorkloadSpec("list:", library_).empty());
+  EXPECT_TRUE(ParseWorkloadSpec("list:nosuchprogram", library_).empty());
+  EXPECT_TRUE(ParseWorkloadSpec("list:bitcnts*", library_).empty());
+  EXPECT_TRUE(ParseWorkloadSpec("list:bitcnts*0", library_).empty());
+  EXPECT_TRUE(ParseWorkloadSpec("list:bitcnts*x", library_).empty());
+  EXPECT_TRUE(ParseWorkloadSpec("list:bitcnts,,memrw", library_).empty());
+  // Overflowing / absurd repeat counts are rejected, not wrapped or OOMed.
+  EXPECT_TRUE(ParseWorkloadSpec("list:bitcnts*8589934593", library_).empty());  // 2^33+1
+  EXPECT_TRUE(ParseWorkloadSpec("list:bitcnts*99999999999999999999", library_).empty());
+  EXPECT_TRUE(ParseWorkloadSpec("list:bitcnts*2000000000", library_).empty());
+}
+
 TEST_F(WorkloadBuilderTest, ParseSpecRejectsUnknown) {
   EXPECT_TRUE(ParseWorkloadSpec("bogus:3", library_).empty());
   EXPECT_TRUE(ParseWorkloadSpec("", library_).empty());

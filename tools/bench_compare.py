@@ -5,7 +5,7 @@ Usage:
     bench_compare.py --baseline bench/baselines/BENCH_tick_hot_path.json \
                      --current build/BENCH_tick_hot_path.json [--threshold 0.25]
 
-Compares the throughput-style metrics of the two known bench formats and
+Compares the throughput-style metrics of the known bench formats and
 exits non-zero when the current run regresses by more than the threshold
 (default 25%, overridable via --threshold or the BENCH_COMPARE_THRESHOLD
 environment variable - CI runners are noisy, calibrate there, not here):
@@ -14,6 +14,17 @@ environment variable - CI runners are noisy, calibrate there, not here):
                   engine/scan cross-check must still report identical states.
   sweep_scaling:  single_thread_ticks_per_second, and the sweep must still be
                   deterministic across thread counts.
+  governor_sweep: simulated throughput (work-ticks/s) per governor x policy
+                  row - deterministic simulation output, so rows are
+                  comparable across machines and gate at the tighter of the
+                  global threshold and 1% - plus the DVFS-columns presence
+                  rule (governed rows carry avg_frequency_cpu*, pure-hlt
+                  "none" rows must not).
+
+Files are either one JSON document (tick_hot_path, sweep_scaling) or JSONL
+as the result sinks write it (governor_sweep: a header object with "bench",
+one object per run keyed by "name", optional trailer objects merged into
+the header).
 
 Only regressions gate; improvements are reported and pass. To refresh a
 baseline after an intentional change, copy the current file over the
@@ -31,9 +42,28 @@ import sys
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            return json.load(handle)
-    except (OSError, ValueError) as error:
+            text = handle.read()
+    except OSError as error:
         sys.exit(f"bench_compare: cannot read {path}: {error}")
+    try:
+        return json.loads(text)
+    except ValueError:
+        pass  # not a single document - try JSONL
+    merged = {"runs": []}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError as error:
+            sys.exit(f"bench_compare: {path}:{number}: bad JSON line: {error}")
+        if "name" in obj:
+            merged["runs"].append(obj)
+        else:
+            merged.update(obj)  # header/trailer metadata
+    if "bench" not in merged:
+        sys.exit(f"bench_compare: {path} is neither a bench JSON document nor bench JSONL")
+    return merged
 
 
 class Gate:
@@ -56,18 +86,22 @@ class Gate:
                 f"{current} - align the bench flags or refresh the baseline"
             )
 
-    def rate(self, name, baseline, current):
+    def rate(self, name, baseline, current, threshold=None):
+        """`threshold` overrides the gate-wide tolerance for this metric -
+        deterministic metrics gate much tighter than wall-clock ones."""
         if baseline <= 0:
             self.lines.append(f"  {name}: baseline {baseline:.0f} not positive; skipped")
             return
+        if threshold is None:
+            threshold = self.threshold
         self.rates_compared += 1
         change = (current - baseline) / baseline
         verdict = "ok"
-        if change < -self.threshold:
+        if change < -threshold:
             verdict = "REGRESSION"
             self.failures.append(
                 f"{name}: {baseline:.0f} -> {current:.0f} ({change:+.1%}, "
-                f"limit -{self.threshold:.0%})"
+                f"limit -{threshold:.0%})"
             )
         self.lines.append(f"  {name}: {baseline:.0f} -> {current:.0f} ({change:+.1%}) {verdict}")
 
@@ -111,9 +145,40 @@ def compare_sweep_scaling(baseline, current, gate):
     )
 
 
+def compare_governor_sweep(baseline, current, gate):
+    # Simulated throughput is deterministic, so rows gate at the tighter of
+    # the global threshold and 1% - enough slack to absorb floating-point
+    # jitter across compilers, tight enough that a real behavioral shift
+    # (the wall-clock benches' 25% would hide a -20% scheduling regression)
+    # fails loudly.
+    threshold = min(gate.threshold, 0.01)
+    for field in ("scenario", "duration_ticks"):
+        gate.config(field, baseline.get(field), current.get(field))
+    base_rows = {row["name"]: row for row in baseline.get("runs", [])}
+    gate.config(
+        "rows",
+        sorted(base_rows),
+        sorted(row["name"] for row in current.get("runs", [])),
+    )
+    for row in current.get("runs", []):
+        name = row["name"]
+        base = base_rows.get(name)
+        if base is None:
+            continue  # already failed via the rows config check
+        gate.rate(f"throughput[{name}]", base["throughput"], row["throughput"], threshold)
+        # The DVFS presence rule: governed rows carry the avg_frequency
+        # columns, pure-hlt "none" rows must not grow them.
+        governed = not name.startswith("none/")
+        gate.invariant(
+            f"dvfs columns {'present' if governed else 'absent'}[{name}]",
+            ("avg_frequency_cpu0" in row) == governed,
+        )
+
+
 COMPARATORS = {
     "tick_hot_path": compare_tick_hot_path,
     "sweep_scaling": compare_sweep_scaling,
+    "governor_sweep": compare_governor_sweep,
 }
 
 

@@ -7,31 +7,32 @@
 //   eastool --topology 2:4:2 --policy energy_aware --workload mixed:6
 //           --duration-s 300 --temp-limit 38 --throttle
 //   eastool --policy energy_aware --workload trace:arrivals.csv --summary-csv s.csv
+//   eastool --scenario paper-hot-task --runs 3 --print-request > hot.req
+//   eastool --request hot.req --summary-csv s.csv
+//   eastool --batch sweep.req --jsonl results.jsonl
 //
-// Scenarios come from the ScenarioRegistry (src/sim/scenario.h): a named,
-// fully-specified experiment (topology, cooling, limits, policy, workload,
-// duration, seed). Explicit flags override the scenario's settings. Policies
-// resolve purely through the BalancePolicyRegistry; "baseline" and "eas" are
-// accepted as aliases for load_only / energy_aware, and '-' matches '_'.
-// With --runs N the spec is expanded into an N-seed sweep and fanned across
-// the parallel ExperimentRunner (deterministic for any --threads).
+// Every run is described by a RunRequest (src/api/run_request.h): the flags
+// below assemble one, --request reads one from a `key = value` file, and
+// --print-request writes the canonical file for the current flags - so any
+// flag invocation can be captured as data and replayed exactly. --batch
+// runs one request per line of a file, fanned across the parallel
+// ExperimentRunner together. Results stream through ResultSinks: the
+// summary/trace CSVs, JSONL, and an ASCII thermal plot.
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/api/result_sink.h"
+#include "src/api/run_session.h"
 #include "src/base/flags.h"
-#include "src/core/policy_registry.h"
 #include "src/freq/governor_registry.h"
-#include "src/sim/csv_export.h"
 #include "src/sim/scenario.h"
-#include "src/workloads/generators.h"
-#include "src/workloads/programs.h"
-#include "src/workloads/workload_builder.h"
 
 namespace {
 
@@ -45,46 +46,92 @@ void PrintUsage() {
       "                      aliases: baseline = load_only, eas = energy_aware,\n"
       "                      temp-only = temperature_only; '-' matches '_')\n"
       "  --workload SPEC     mixed:<inst> | homog:<m>,<p>,<b> | hot:<n> | short:<n>\n"
+      "                      | list:<prog>[*<count>],...  (programs by name)\n"
       "                      | trace:<file.csv>   (rows: tick,program[,nice])\n"
       "  --governor NAME     DVFS frequency governor (default none = P0 pinned;\n"
       "                      see --list-governors)\n"
       "  --list-governors    list registered frequency governors and exit\n"
       "  --duration-s SEC    simulated seconds (default 120)\n"
       "  --runs N            expand into an N-seed sweep (default 1)\n"
-      "  --threads N         runner threads, 0 = hardware (default 0)\n"
+      "  --seed N            experiment seed (default 42)\n"
       "  --max-power W       explicit per-package power limit\n"
       "  --temp-limit C      derive per-package limits from cooling (default 38)\n"
       "  --throttle          enforce thermal throttling\n"
-      "  --seed N            experiment seed (default 42)\n"
-      "  --trace-csv FILE    write per-CPU thermal power trace (first run)\n"
-      "  --summary-csv FILE  write the run summary (first run)\n");
+      "  --request FILE      load a RunRequest file (key = value lines; flags\n"
+      "                      above override its fields)\n"
+      "  --batch FILE        run every request in FILE (one per line, 'key = v;\n"
+      "                      key = v' form) as one parallel sweep; run-shaping\n"
+      "                      flags are rejected, sink flags below apply\n"
+      "  --print-request     print the canonical request file for the current\n"
+      "                      flags and exit (replay it with --request); with\n"
+      "                      --batch, the canonical batch file (one per line)\n"
+      "  --threads N         runner threads, 0 = hardware (default 0)\n"
+      "  --trace-csv FILE    write each run's per-CPU thermal power trace: run 0\n"
+      "                      to FILE, run K of a --runs/--batch sweep to FILE.runK\n"
+      "  --summary-csv FILE  write the run summary: a single run keeps the\n"
+      "                      key,value format; a sweep writes a table with one\n"
+      "                      row per run (columns run,name,seed,<metrics>)\n"
+      "  --jsonl FILE        write one JSON object per run (metrics + the\n"
+      "                      request that reproduces it)\n"
+      "  --plot              print an ASCII thermal-power plot per run\n");
 }
 
-// Registry policy name for a CLI spelling: '-' matches '_', plus the legacy
-// aliases the tool has always accepted.
-std::string NormalizePolicyName(std::string name) {
-  for (char& c : name) {
-    if (c == '-') {
-      c = '_';
+constexpr const char* kKnownFlags[] = {
+    "help",       "list-scenarios", "list-governors", "scenario",    "topology",
+    "policy",     "workload",       "governor",       "duration-s",  "runs",
+    "seed",       "request",        "batch",          "print-request", "threads",
+    "trace-csv",  "summary-csv",    "jsonl",          "plot",        "max-power",
+    "temp-limit", "throttle"};
+
+// The flags that shape the request itself (as opposed to execution/output);
+// rejected with --batch, where the batch file is the single source of truth.
+constexpr const char* kRequestFlags[] = {"scenario",   "topology",   "policy",
+                                         "workload",   "governor",   "duration-s",
+                                         "runs",       "seed",       "max-power",
+                                         "temp-limit", "throttle",   "request"};
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// Overlays the request-shaping flags onto `request` (flags win over a
+// --request file, exactly as they win over a --scenario base). Values go
+// through the same validation the request-file parser applies, so
+// `--seed 4z2` is rejected exactly like `seed = 4z2` in a file instead of
+// silently running with seed 0. False (with a printed diagnostic) on a bad
+// value.
+bool ApplyFlagOverrides(const eas::FlagParser& flags, eas::RunRequest* request) {
+  for (const char* key : {"scenario", "topology", "policy", "workload", "governor",
+                          "duration-s", "max-power", "temp-limit", "seed", "runs"}) {
+    if (!flags.Has(key)) {
+      continue;
+    }
+    std::string error;
+    if (!eas::ApplyRunRequestField(key, flags.GetString(key), request, &error)) {
+      std::fprintf(stderr, "--%s: %s\n", key, error.c_str());
+      return false;
     }
   }
-  if (name == "baseline") {
-    return "load_only";
+  // --throttle is a switch (bare --throttle means true), so it cannot go
+  // through the key = value path verbatim.
+  if (flags.Has("throttle")) {
+    request->throttle = flags.GetBool("throttle", false);
   }
-  if (name == "eas") {
-    return "energy_aware";
-  }
-  if (name == "temp_only") {  // the tool's historical spelling was temp-only
-    return "temperature_only";
-  }
-  return name;
+  return true;
 }
 
-void PrintResult(const std::string& name, const eas::MachineConfig& config,
-                 const eas::Experiment::Options& options, const eas::RunResult& result,
-                 std::size_t tasks) {
-  std::printf("run:               %s\n", name.c_str());
-  std::printf("arrivals:          %zu scheduled\n", tasks);
+void PrintResult(const eas::RunRecord& record) {
+  const eas::MachineConfig& config = record.spec.config;
+  const eas::RunResult& result = record.result;
+  std::printf("run:               %s\n", record.spec.name.c_str());
+  std::printf("arrivals:          %zu scheduled\n", record.spec.workload.size());
   std::printf("cpus:              %zu logical / %zu physical\n", config.topology.num_logical(),
               config.topology.num_physical());
   std::printf("throughput:        %.1f work-ticks/s\n", result.Throughput());
@@ -96,13 +143,27 @@ void PrintResult(const std::string& name, const eas::MachineConfig& config,
   }
   std::printf("peak thermal:      %.1f W\n", result.thermal_power.MaxValue());
   std::printf("spread (steady):   %.1f W\n",
-              result.MaxThermalSpreadAfter(options.duration_ticks / 2));
+              result.MaxThermalSpreadAfter(record.spec.options.duration_ticks / 2));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const eas::FlagParser flags(argc, argv);
+
+  // Typos must not be silently swallowed: every flag is validated against
+  // the known set before anything runs.
+  const std::vector<std::string> unknown(
+      flags.UnknownFlags(std::vector<std::string>(std::begin(kKnownFlags),
+                                                  std::end(kKnownFlags))));
+  if (!unknown.empty()) {
+    for (const std::string& flag : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", flag.c_str());
+    }
+    PrintUsage();
+    return 1;
+  }
+
   if (flags.Has("help")) {
     PrintUsage();
     return 0;
@@ -122,171 +183,164 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  eas::ExperimentSpec spec;
-  const bool from_scenario = flags.Has("scenario");
-
-  if (from_scenario) {
-    // --- scenario base ------------------------------------------------------
-    const std::string name = flags.GetString("scenario");
-    if (!eas::ScenarioRegistry::Global().Contains(name)) {
-      std::fprintf(stderr, "unknown --scenario %s (registered:", name.c_str());
-      for (const std::string& known : eas::ScenarioRegistry::Global().Names()) {
-        std::fprintf(stderr, " %s", known.c_str());
-      }
-      std::fprintf(stderr, ")\n");
-      return 1;
-    }
-    spec = eas::ScenarioRegistry::Global().BuildOrThrow(name).ToExperimentSpec();
-    if (flags.Has("workload")) {
-      std::fprintf(stderr, "--workload cannot override a --scenario workload\n");
-      return 1;
-    }
-  } else {
-    spec.name = "cli";
-  }
-
-  // --- machine overrides ----------------------------------------------------
-  if (!from_scenario || flags.Has("topology")) {
-    std::string error;
-    const auto topology =
-        eas::ParseTopologySpec(flags.GetString("topology", "2:4:1"), &error);
-    if (!topology.has_value()) {
-      std::fprintf(stderr, "bad --topology: %s\n", error.c_str());
-      return 1;
-    }
-    spec.config.topology = *topology;
-    if (spec.config.topology.num_physical() == 8) {
-      spec.config.cooling = eas::CoolingProfile::PaperXSeries445();
-    } else {
-      spec.config.cooling = eas::CoolingProfile::Uniform(spec.config.topology.num_physical(),
-                                                         eas::ThermalParams{});
-    }
-  }
-  if (flags.Has("max-power")) {
-    spec.config.explicit_max_power_physical = flags.GetDouble("max-power", 60.0);
-  }
-  if (!from_scenario || flags.Has("temp-limit")) {
-    spec.config.temp_limit = flags.GetDouble("temp-limit", 38.0);
-  }
-  if (!from_scenario || flags.Has("throttle")) {
-    spec.config.throttling_enabled = flags.GetBool("throttle", false);
-  }
-  if (!from_scenario || flags.Has("seed")) {
-    spec.config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
-  }
-
-  // --- policy (resolved purely via the BalancePolicyRegistry) ---------------
-  std::string policy = NormalizePolicyName(flags.GetString("policy", "energy_aware"));
-  if (!from_scenario || flags.Has("policy")) {
-    if (!eas::BalancePolicyRegistry::Global().Contains(policy)) {
-      std::fprintf(stderr, "unknown --policy %s (registered:", policy.c_str());
-      for (const std::string& name : eas::BalancePolicyRegistry::Global().Names()) {
-        std::fprintf(stderr, " %s", name.c_str());
-      }
-      std::fprintf(stderr, ")\n");
-      return 1;
-    }
-    spec.config.sched = eas::SchedConfigForPolicy(policy);
-  } else {
-    policy = eas::EffectiveBalancerName(spec.config.sched);
-  }
-
-  // --- frequency governor (resolved via the FrequencyGovernorRegistry) ------
-  if (!from_scenario || flags.Has("governor")) {
-    const std::string governor = flags.GetString("governor", "none");
-    if (!eas::FrequencyGovernorRegistry::Global().Contains(governor)) {
-      std::fprintf(stderr, "unknown --governor %s (registered:", governor.c_str());
-      for (const std::string& name : eas::FrequencyGovernorRegistry::Global().Names()) {
-        std::fprintf(stderr, " %s", name.c_str());
-      }
-      std::fprintf(stderr, ")\n");
-      return 1;
-    }
-    spec.config.frequency_governor = governor;
-  }
-
-  // --- workload -------------------------------------------------------------
-  if (!from_scenario) {
-    auto library = std::make_shared<eas::ProgramLibrary>(spec.config.model);
-    const std::string workload_spec = flags.GetString("workload", "mixed:3");
-    eas::Workload workload;
-    if (workload_spec.rfind("trace:", 0) == 0) {
-      std::string error;
-      if (!eas::LoadTraceWorkload(workload_spec.substr(6), *library, &workload, &error)) {
-        std::fprintf(stderr, "bad --workload trace: %s\n", error.c_str());
+  // --- assemble the request(s) ----------------------------------------------
+  std::vector<eas::RunRequest> requests;
+  const bool batch = flags.Has("batch");
+  if (batch) {
+    for (const char* flag : kRequestFlags) {
+      if (flags.Has(flag)) {
+        std::fprintf(stderr, "--%s cannot be combined with --batch (put it in the file)\n",
+                     flag);
         return 1;
       }
-    } else {
-      workload = eas::Workload(eas::ParseWorkloadSpec(workload_spec, *library));
     }
-    if (workload.empty()) {
-      std::fprintf(stderr, "bad --workload %s\n", workload_spec.c_str());
+    const std::string path = flags.GetString("batch");
+    std::string text;
+    if (!ReadFileToString(path, &text)) {
+      std::fprintf(stderr, "cannot read --batch file %s\n", path.c_str());
       return 1;
     }
-    workload.Retain(library);
-    spec.workload = std::move(workload);
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(lines, line)) {
+      ++line_number;
+      const std::size_t hash = line.find('#');
+      const std::string body = hash == std::string::npos ? line : line.substr(0, hash);
+      if (body.find_first_not_of(" \t\r") == std::string::npos) {
+        continue;  // blank or comment-only line
+      }
+      std::string error;
+      const auto request = eas::ParseRunRequest(body, &error);
+      if (!request.has_value()) {
+        std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), line_number, error.c_str());
+        return 1;
+      }
+      eas::RunRequest named = *request;
+      if (named.name.empty()) {
+        named.name = named.scenario.empty() ? "req" + std::to_string(requests.size())
+                                            : named.scenario;
+      }
+      requests.push_back(std::move(named));
+    }
+    if (requests.empty()) {
+      std::fprintf(stderr, "--batch file %s holds no requests\n", path.c_str());
+      return 1;
+    }
+  } else {
+    eas::RunRequest request;
+    if (flags.Has("request")) {
+      const std::string path = flags.GetString("request");
+      std::string text;
+      if (!ReadFileToString(path, &text)) {
+        std::fprintf(stderr, "cannot read --request file %s\n", path.c_str());
+        return 1;
+      }
+      std::string error;
+      const auto parsed = eas::ParseRunRequest(text, &error);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+        return 1;
+      }
+      request = *parsed;
+    }
+    if (!ApplyFlagOverrides(flags, &request)) {
+      return 1;
+    }
+    requests.push_back(std::move(request));
   }
 
-  // --- duration / sweep -----------------------------------------------------
-  if (!from_scenario || flags.Has("duration-s")) {
-    spec.options.duration_ticks =
-        static_cast<eas::Tick>(flags.GetDouble("duration-s", 120.0) * 1000.0);
-  }
-  if (!from_scenario) {
-    spec.options.sample_interval_ticks = 500;
+  // --- resolve ---------------------------------------------------------------
+  std::vector<eas::ResolvedRequest> resolved;
+  for (const eas::RunRequest& request : requests) {
+    std::string error;
+    auto r = eas::ResolveRunRequest(request, &error);
+    if (!r.has_value()) {
+      std::fprintf(stderr, "eastool: %s\n", error.c_str());
+      return 1;
+    }
+    resolved.push_back(std::move(*r));
   }
 
-  const long long runs = flags.GetInt("runs", 1);
-  if (runs < 1) {
-    std::fprintf(stderr, "bad --runs (want >= 1)\n");
-    return 1;
+  if (flags.Has("print-request")) {
+    // One canonical request file for a single invocation; for --batch, the
+    // canonical batch file (one single-line request per line, replayable
+    // with --batch).
+    for (const eas::ResolvedRequest& r : resolved) {
+      if (batch) {
+        std::printf("%s\n", eas::FormatRunRequestLine(r.request).c_str());
+      } else {
+        std::fputs(eas::FormatRunRequest(r.request).c_str(), stdout);
+      }
+    }
+    return 0;
   }
-  std::vector<eas::ExperimentSpec> specs =
-      runs == 1 ? std::vector<eas::ExperimentSpec>{spec}
-                : eas::ExperimentRunner::SeedSweep(spec, static_cast<std::size_t>(runs));
 
-  // --- run (always through the parallel runner) -----------------------------
-  const eas::ExperimentRunner runner(
+  // --- sinks -----------------------------------------------------------------
+  const std::string trace_csv = flags.GetString("trace-csv");
+  const std::string summary_csv = flags.GetString("summary-csv");
+  const std::string jsonl_path = flags.GetString("jsonl");
+  eas::CsvSink csv(summary_csv, trace_csv);
+  eas::JsonlSink jsonl(jsonl_path);
+  eas::AsciiPlotSink plot(stdout);
+
+  eas::RunSession session(
       static_cast<std::size_t>(std::max(0LL, flags.GetInt("threads", 0))));
-  std::vector<eas::RunResult> results;
+  if (!summary_csv.empty() || !trace_csv.empty()) {
+    session.AddSink(csv);
+  }
+  if (!jsonl_path.empty()) {
+    session.AddSink(jsonl);
+  }
+  if (flags.Has("plot")) {
+    session.AddSink(plot);
+  }
+
+  // --- run (always through the parallel runner) ------------------------------
+  std::vector<eas::RunRecord> records;
   try {
-    results = runner.RunAll(specs);
+    records = session.Run(resolved);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "run failed: %s\n", e.what());
     return 1;
   }
 
-  std::printf("policy:            %s\n", policy.c_str());
-  if (spec.config.frequency_governor != "none") {
-    std::printf("governor:          %s\n", spec.config.frequency_governor.c_str());
+  if (!batch) {
+    const eas::ResolvedRequest& only = resolved.front();
+    std::printf("policy:            %s\n", only.policy.c_str());
+    if (only.governor != "none") {
+      std::printf("governor:          %s\n", only.governor.c_str());
+    }
+    if (!only.request.scenario.empty()) {
+      std::printf("scenario:          %s\n", only.request.scenario.c_str());
+    }
   }
-  if (from_scenario) {
-    std::printf("scenario:          %s\n", flags.GetString("scenario").c_str());
-  }
-  for (std::size_t i = 0; i < results.size(); ++i) {
+  for (std::size_t i = 0; i < records.size(); ++i) {
     if (i > 0) {
       std::printf("\n");
     }
-    PrintResult(specs[i].name, specs[i].config, specs[i].options, results[i],
-                specs[i].workload.size());
+    PrintResult(records[i]);
   }
 
-  const eas::RunResult& first = results.front();
-  const std::string trace_csv = flags.GetString("trace-csv");
-  if (!trace_csv.empty()) {
-    if (!eas::WriteFile(trace_csv, eas::SeriesSetToCsv(first.thermal_power))) {
-      std::fprintf(stderr, "failed to write %s\n", trace_csv.c_str());
+  csv.Finish();
+  jsonl.Finish();
+  for (const eas::ResultSink* sink : {static_cast<const eas::ResultSink*>(&csv),
+                                      static_cast<const eas::ResultSink*>(&jsonl)}) {
+    if (!sink->ok()) {
+      std::fprintf(stderr, "%s\n", sink->error().c_str());
       return 1;
     }
-    std::printf("trace written:     %s\n", trace_csv.c_str());
   }
-  const std::string summary_csv = flags.GetString("summary-csv");
+  if (!trace_csv.empty()) {
+    std::printf("trace written:     %s%s\n", trace_csv.c_str(),
+                records.size() > 1 ? " (+ .runK per run)" : "");
+  }
   if (!summary_csv.empty()) {
-    if (!eas::WriteFile(summary_csv, eas::RunSummaryToCsv(first))) {
-      std::fprintf(stderr, "failed to write %s\n", summary_csv.c_str());
-      return 1;
-    }
-    std::printf("summary written:   %s\n", summary_csv.c_str());
+    std::printf("summary written:   %s%s\n", summary_csv.c_str(),
+                records.size() > 1 ? " (one row per run)" : "");
+  }
+  if (!jsonl_path.empty()) {
+    std::printf("jsonl written:     %s\n", jsonl_path.c_str());
   }
   return 0;
 }
