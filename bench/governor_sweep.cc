@@ -25,6 +25,14 @@
 #include "src/core/policy_registry.h"
 #include "src/freq/governor_registry.h"
 
+namespace {
+#ifdef NDEBUG
+constexpr const char kBuildType[] = "release";
+#else
+constexpr const char kBuildType[] = "debug";
+#endif
+}  // namespace
+
 int main(int argc, char** argv) {
   const eas::FlagParser flags(argc, argv);
   const std::vector<std::string> unknown = flags.UnknownFlags({"duration", "threads", "out"});
@@ -73,11 +81,11 @@ int main(int argc, char** argv) {
   eas::JsonlSink jsonl(out);
   eas::RunSession session(threads);
   session.AddSink(jsonl);
-  char header[192];
+  char header[224];
   std::snprintf(header, sizeof(header),
                 "{\"bench\": \"governor_sweep\", \"scenario\": \"governor-comparison\", "
-                "\"duration_ticks\": %lld, \"threads\": %zu}",
-                static_cast<long long>(duration), session.runner().num_threads());
+                "\"duration_ticks\": %lld, \"threads\": %zu, \"build_type\": \"%s\"}",
+                static_cast<long long>(duration), session.runner().num_threads(), kBuildType);
   jsonl.AppendLine(header);
 
   const auto start = std::chrono::steady_clock::now();

@@ -3,7 +3,12 @@
 // engine rate. Seeds the perf trajectory: run it per change and compare the
 // BENCH_sweep_scaling.json it writes.
 //
-//   $ bench_sweep_scaling [--runs=12] [--duration=40000] [--out=BENCH_sweep_scaling.json]
+//   $ bench_sweep_scaling [--runs=12] [--duration=40000] [--threads=0]
+//                         [--out=BENCH_sweep_scaling.json]
+//
+// --threads pins the multi-thread leg (0 = all hardware threads); the JSON
+// records it plus the build type so tools/bench_compare.py can refuse to
+// diff runs measured under different configurations.
 
 #include <algorithm>
 #include <chrono>
@@ -16,6 +21,12 @@
 #include "src/sim/csv_export.h"
 
 namespace {
+
+#ifdef NDEBUG
+constexpr const char kBuildType[] = "release";
+#else
+constexpr const char kBuildType[] = "debug";
+#endif
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -61,18 +72,22 @@ double TimeSweep(const std::vector<eas::ExperimentSpec>& specs, std::size_t thre
 
 int main(int argc, char** argv) {
   const eas::FlagParser flags(argc, argv);
-  const std::vector<std::string> unknown = flags.UnknownFlags({"runs", "duration", "out"});
+  const std::vector<std::string> unknown =
+      flags.UnknownFlags({"runs", "duration", "threads", "out"});
   if (!unknown.empty()) {
-    std::fprintf(stderr, "unknown flag --%s (known: --runs --duration --out)\n",
+    std::fprintf(stderr, "unknown flag --%s (known: --runs --duration --threads --out)\n",
                  unknown.front().c_str());
     return 1;
   }
   const int runs = std::max(1, static_cast<int>(flags.GetInt("runs", 12)));
   const eas::Tick duration = std::max<eas::Tick>(1, flags.GetInt("duration", 40'000));
+  const std::size_t requested =
+      static_cast<std::size_t>(std::max(0LL, flags.GetInt("threads", 0)));
   const std::string out = flags.GetString("out", "BENCH_sweep_scaling.json");
 
   const std::vector<eas::ExperimentSpec> specs = MakeSweep(runs, duration);
-  const std::size_t hardware = eas::ExperimentRunner().num_threads();
+  const std::size_t hardware =
+      requested > 0 ? requested : eas::ExperimentRunner().num_threads();
 
   std::printf("== sweep scaling: %d runs x %lld ticks ==\n\n", runs,
               static_cast<long long>(duration));
@@ -101,14 +116,15 @@ int main(int argc, char** argv) {
                 "  \"runs\": %d,\n"
                 "  \"duration_ticks\": %lld,\n"
                 "  \"threads\": %zu,\n"
+                "  \"build_type\": \"%s\",\n"
                 "  \"single_thread_seconds\": %.4f,\n"
                 "  \"multi_thread_seconds\": %.4f,\n"
                 "  \"speedup\": %.4f,\n"
                 "  \"single_thread_ticks_per_second\": %.0f,\n"
                 "  \"deterministic_across_threads\": %s\n"
                 "}\n",
-                runs, static_cast<long long>(duration), hardware, single, multi, speedup,
-                ticks_per_second, work_single == work_multi ? "true" : "false");
+                runs, static_cast<long long>(duration), hardware, kBuildType, single, multi,
+                speedup, ticks_per_second, work_single == work_multi ? "true" : "false");
   if (!eas::WriteFile(out, json)) {
     std::fprintf(stderr, "failed to write %s\n", out.c_str());
     return 1;

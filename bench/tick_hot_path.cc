@@ -1,27 +1,37 @@
-// Tick hot-path benchmark: engine ticks/sec as the task population grows.
+// Tick hot-path benchmark: engine ticks/sec as the task population grows,
+// plus the quiescent-span skip-ahead rate on a sparse workload.
 //
 // The event-driven engine (heap wake queue, arrival queue, cached balance
 // aggregates, active-mask sampling) must hold its tick rate roughly constant
 // as tasks accumulate; the scan-based loop it replaced degrades linearly in
 // the number of tasks ever spawned. This bench drives both over the same
 // sleeper-heavy workload (interactive daemons that spend most ticks blocked,
-// the worst case for the wake scan) at 100 / 1k / 10k tasks and writes the
-// ticks/sec table plus the speedup to BENCH_tick_hot_path.json.
+// the worst case for the wake scan) at 100 / 1k / 10k tasks, then measures
+// skip-ahead vs naive ticking on a cron-style mostly-idle workload where
+// the machine is quiescent ~99% of ticks, and writes the ticks/sec table
+// plus the speedups to BENCH_tick_hot_path.json.
 //
 //   $ bench_tick_hot_path [--ticks=2000] [--out=BENCH_tick_hot_path.json]
 //
 // The scan reference (src/sim/scan_reference.h) reproduces the
 // pre-event-queue engine tick exactly (same phase components, wakeups via a
 // task-table scan), so the bench also cross-checks that both loops finish in
-// bit-identical states.
+// bit-identical states; the sparse row cross-checks that skip-ahead and the
+// naive tick loop do too (the engine's bit-identity contract).
+//
+// Every row carries a "name" and the document carries the run configuration
+// (threads, build type, wall time), so tools/bench_compare.py can refuse to
+// diff runs measured under different conditions.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/api/run_request.h"
 #include "src/base/flags.h"
+#include "src/counters/energy_model.h"
 #include "src/sim/csv_export.h"
 #include "src/sim/scan_reference.h"
 #include "src/sim/simulation_engine.h"
@@ -30,6 +40,12 @@
 namespace {
 
 using eas::Tick;
+
+#ifdef NDEBUG
+constexpr const char kBuildType[] = "release";
+#else
+constexpr const char kBuildType[] = "debug";
+#endif
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -72,9 +88,29 @@ void SpawnSleeperHeavy(eas::SimulationState& state, const eas::ProgramLibrary& l
   }
 }
 
+// Cron-style program for the sparse row: ~12-tick bursts separated by ~6000
+// ticks of sleep, so a handful of tasks leaves the machine quiescent (no
+// task runnable anywhere) on ~99% of ticks - the regime skip-ahead turns
+// into closed-form spans.
+eas::Program MakeCronProgram(const eas::EnergyModel& model) {
+  eas::EventRates signature{};
+  signature.fill(1.0);
+  eas::Phase burst;
+  burst.rates = model.RatesForTargetPower(signature, 35.0);
+  burst.mean_duration = 12;
+  burst.duration_jitter = 0.1;
+  burst.mean_sleep_after = 6'000;
+  burst.rate_noise = 0.02;
+  return eas::Program("cron", 0xc407, {burst}, /*total_work_ticks=*/0);
+}
+
 struct Measurement {
-  double engine_ticks_per_second = 0.0;
-  double scan_ticks_per_second = 0.0;
+  std::string name;
+  int tasks = 0;
+  Tick ticks = 0;
+  double engine_ticks_per_second = 0.0;  // the optimized path (always gated)
+  double reference_ticks_per_second = 0.0;
+  const char* reference_key = "scan_ticks_per_second";
   double speedup = 0.0;
   bool identical = false;
 };
@@ -101,13 +137,73 @@ Measurement MeasurePopulation(const eas::ProgramLibrary& library, int tasks, Tic
   const double scan_seconds = SecondsSince(scan_start);
 
   Measurement m;
+  m.name = "tasks_" + std::to_string(tasks);
+  m.tasks = tasks;
+  m.ticks = ticks;
   m.engine_ticks_per_second =
       engine_seconds > 0.0 ? static_cast<double>(ticks) / engine_seconds : 0.0;
-  m.scan_ticks_per_second = scan_seconds > 0.0 ? static_cast<double>(ticks) / scan_seconds : 0.0;
+  m.reference_ticks_per_second =
+      scan_seconds > 0.0 ? static_cast<double>(ticks) / scan_seconds : 0.0;
   m.speedup = engine_seconds > 0.0 ? scan_seconds / engine_seconds : 0.0;
   m.identical = engine_state.TotalWorkDone() == scan_state.TotalWorkDone() &&
                 engine_state.TotalTaskEnergy() == scan_state.TotalTaskEnergy() &&
                 engine_state.migration_count() == scan_state.migration_count();
+  return m;
+}
+
+// End states must match bitwise between the skip-ahead and naive runs: the
+// scheduler-visible aggregates plus the analog state skip-ahead integrates
+// in closed form (package temperature and true power).
+bool BitIdentical(eas::SimulationState& a, eas::SimulationState& b) {
+  if (a.TotalWorkDone() != b.TotalWorkDone() || a.TotalTaskEnergy() != b.TotalTaskEnergy() ||
+      a.migration_count() != b.migration_count() || a.now() != b.now()) {
+    return false;
+  }
+  for (std::size_t phys = 0; phys < a.num_physical(); ++phys) {
+    if (a.Temperature(phys) != b.Temperature(phys) || a.TruePower(phys) != b.TruePower(phys)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Measurement MeasureSparse(const eas::EnergyModel& model, Tick ticks) {
+  const eas::Program cron = MakeCronProgram(model);
+  constexpr int kTasks = 4;
+
+  eas::MachineConfig skip_config = BenchConfig();
+  skip_config.skip_ahead = true;
+  eas::SimulationState skip_state(skip_config);
+  eas::SimulationEngine skip_engine(skip_config.sched);
+  for (int i = 0; i < kTasks; ++i) {
+    skip_state.Spawn(cron, 0);
+  }
+  const auto skip_start = std::chrono::steady_clock::now();
+  skip_engine.Advance(skip_state, ticks);
+  const double skip_seconds = SecondsSince(skip_start);
+
+  eas::MachineConfig naive_config = BenchConfig();
+  naive_config.skip_ahead = false;
+  eas::SimulationState naive_state(naive_config);
+  eas::SimulationEngine naive_engine(naive_config.sched);
+  for (int i = 0; i < kTasks; ++i) {
+    naive_state.Spawn(cron, 0);
+  }
+  const auto naive_start = std::chrono::steady_clock::now();
+  naive_engine.Advance(naive_state, ticks);
+  const double naive_seconds = SecondsSince(naive_start);
+
+  Measurement m;
+  m.name = "sparse_idle";
+  m.tasks = kTasks;
+  m.ticks = ticks;
+  m.reference_key = "naive_ticks_per_second";
+  m.engine_ticks_per_second =
+      skip_seconds > 0.0 ? static_cast<double>(ticks) / skip_seconds : 0.0;
+  m.reference_ticks_per_second =
+      naive_seconds > 0.0 ? static_cast<double>(ticks) / naive_seconds : 0.0;
+  m.speedup = skip_seconds > 0.0 ? naive_seconds / skip_seconds : 0.0;
+  m.identical = BitIdentical(skip_state, naive_state);
   return m;
 }
 
@@ -123,34 +219,53 @@ int main(int argc, char** argv) {
   const Tick ticks = std::max<Tick>(1, flags.GetInt("ticks", 2'000));
   const std::string out = flags.GetString("out", "BENCH_tick_hot_path.json");
 
-  const eas::ProgramLibrary library(eas::EnergyModel::Default());
+  const eas::EnergyModel model = eas::EnergyModel::Default();
+  const eas::ProgramLibrary library(model);
   constexpr int kPopulations[] = {100, 1'000, 10'000};
-  constexpr std::size_t kNumPopulations = sizeof(kPopulations) / sizeof(kPopulations[0]);
+  // The sparse row advances far more simulated time per wall second (that is
+  // the point), so it runs a proportionally longer span for stable timing.
+  const Tick sparse_ticks = ticks * 50;
 
   std::printf("== tick hot path: %lld ticks per population ==\n\n",
               static_cast<long long>(ticks));
-  std::printf("  %8s  %14s  %14s  %8s  %s\n", "tasks", "engine tick/s", "scan tick/s",
+  std::printf("  %-12s  %14s  %14s  %8s  %s\n", "row", "engine tick/s", "reference",
               "speedup", "identical");
 
+  const auto bench_start = std::chrono::steady_clock::now();
+  std::vector<Measurement> rows;
+  for (int tasks : kPopulations) {
+    rows.push_back(MeasurePopulation(library, tasks, ticks));
+  }
+  rows.push_back(MeasureSparse(model, sparse_ticks));
+  const double wall_seconds = SecondsSince(bench_start);
+
+  bool all_identical = true;
   std::string json = "{\n  \"bench\": \"tick_hot_path\",\n  \"ticks\": " +
                      std::to_string(static_cast<long long>(ticks)) +
-                     ",\n  \"populations\": [\n";
-  bool all_identical = true;
-  for (std::size_t i = 0; i < kNumPopulations; ++i) {
-    const int tasks = kPopulations[i];
-    const Measurement m = MeasurePopulation(library, tasks, ticks);
+                     ",\n  \"sparse_ticks\": " +
+                     std::to_string(static_cast<long long>(sparse_ticks)) +
+                     ",\n  \"threads\": 1,\n  \"build_type\": \"" + kBuildType +
+                     "\",\n  \"populations\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& m = rows[i];
     all_identical = all_identical && m.identical;
-    std::printf("  %8d  %14.0f  %14.0f  %7.2fx  %s\n", tasks, m.engine_ticks_per_second,
-                m.scan_ticks_per_second, m.speedup, m.identical ? "yes" : "NO");
-    char entry[256];
+    std::printf("  %-12s  %14.0f  %14.0f  %7.2fx  %s\n", m.name.c_str(),
+                m.engine_ticks_per_second, m.reference_ticks_per_second, m.speedup,
+                m.identical ? "yes" : "NO");
+    char entry[320];
     std::snprintf(entry, sizeof(entry),
-                  "    {\"tasks\": %d, \"engine_ticks_per_second\": %.0f, "
-                  "\"scan_ticks_per_second\": %.0f, \"speedup\": %.2f, \"identical\": %s}%s\n",
-                  tasks, m.engine_ticks_per_second, m.scan_ticks_per_second, m.speedup,
-                  m.identical ? "true" : "false", i + 1 < kNumPopulations ? "," : "");
+                  "    {\"name\": \"%s\", \"tasks\": %d, \"ticks\": %lld, "
+                  "\"engine_ticks_per_second\": %.0f, \"%s\": %.0f, "
+                  "\"speedup\": %.2f, \"identical\": %s}%s\n",
+                  m.name.c_str(), m.tasks, static_cast<long long>(m.ticks),
+                  m.engine_ticks_per_second, m.reference_key, m.reference_ticks_per_second,
+                  m.speedup, m.identical ? "true" : "false",
+                  i + 1 < rows.size() ? "," : "");
     json += entry;
   }
-  json += "  ]\n}\n";
+  char tail[64];
+  std::snprintf(tail, sizeof(tail), "  ],\n  \"wall_seconds\": %.4f\n}\n", wall_seconds);
+  json += tail;
 
   if (!eas::WriteFile(out, json)) {
     std::fprintf(stderr, "failed to write %s\n", out.c_str());
@@ -158,7 +273,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\nwrote %s\n", out.c_str());
   if (!all_identical) {
-    std::fprintf(stderr, "ERROR: engine and scan loop diverged\n");
+    std::fprintf(stderr, "ERROR: optimized and reference loops diverged\n");
     return 1;
   }
   return 0;

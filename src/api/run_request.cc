@@ -19,9 +19,10 @@ namespace {
 // The request-file keys, in canonical (format) order. Kept aligned with the
 // eastool flag names so a request file reads like the command line it
 // replaces.
-constexpr const char* kKeys[] = {"name",       "scenario",  "topology",   "workload",
-                                 "policy",     "governor",  "duration-s", "max-power",
-                                 "temp-limit", "throttle",  "seed",       "runs"};
+constexpr const char* kKeys[] = {"name",       "scenario", "topology",   "workload",
+                                 "policy",     "governor", "duration-s", "max-power",
+                                 "temp-limit", "throttle", "skip-ahead", "seed",
+                                 "runs"};
 
 std::string KnownKeys() {
   std::string known;
@@ -124,13 +125,17 @@ bool ApplyPair(const std::string& key, const std::string& value, RunRequest* req
     }
     return true;
   }
-  if (key == "throttle") {
+  if (key == "throttle" || key == "skip-ahead") {
     bool parsed = false;
     if (!ParseBoolValue(value, &parsed)) {
-      Fail(error, "bad value for throttle: \"" + value + "\" (want true/false)");
+      Fail(error, "bad value for " + key + ": \"" + value + "\" (want true/false)");
       return false;
     }
-    request->throttle = parsed;
+    if (key == "throttle") {
+      request->throttle = parsed;
+    } else {
+      request->skip_ahead = parsed;
+    }
     return true;
   }
   if (key == "seed" || key == "runs") {
@@ -191,6 +196,9 @@ std::string FormatWithSeparator(const RunRequest& request, const char* separator
   }
   if (request.throttle.has_value()) {
     Append(&out, "throttle", *request.throttle ? "true" : "false", separator);
+  }
+  if (request.skip_ahead.has_value()) {
+    Append(&out, "skip-ahead", *request.skip_ahead ? "true" : "false", separator);
   }
   if (request.seed.has_value()) {
     Append(&out, "seed", std::to_string(*request.seed), separator);
@@ -401,6 +409,11 @@ std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std:
   }
   if (!from_scenario || request.throttle.has_value()) {
     spec.config.throttling_enabled = request.throttle.value_or(false);
+  }
+  // No scenario sets skip_ahead; an explicit request value always wins and
+  // an unset one keeps the config default (on).
+  if (request.skip_ahead.has_value()) {
+    spec.config.skip_ahead = *request.skip_ahead;
   }
   if (!from_scenario || request.seed.has_value()) {
     spec.config.seed = request.seed.value_or(42);

@@ -69,6 +69,12 @@ struct RunRequest {
   std::optional<double> max_power;    // explicit per-package power limit (W)
   std::optional<double> temp_limit;   // derive per-package limits (default 38 C)
   std::optional<bool> throttle;       // enforce hlt throttling (default off)
+
+  // Quiescent-span skip-ahead in the engine (default on). Results are
+  // bit-identical either way; turning it off is the A/B timing escape hatch
+  // (eastool --no-skip-ahead).
+  std::optional<bool> skip_ahead;
+
   std::optional<std::uint64_t> seed;  // base seed (default 42)
 
   // Seed-sweep width: the request expands into `runs` specs seeded

@@ -1,8 +1,5 @@
 #include "src/base/exp_average.h"
 
-#include <cassert>
-#include <cmath>
-
 namespace eas {
 
 ExpAverage::ExpAverage(double weight, double standard_period)
@@ -18,21 +15,6 @@ ExpAverage ExpAverage::WithTimeConstant(double tau, double standard_period) {
   assert(tau > 0.0);
   const double p = 1.0 - std::exp(-standard_period / tau);
   return ExpAverage(p, standard_period);
-}
-
-void ExpAverage::AddSample(double value, double period) {
-  AddRateSample(value * standard_period_ / period, period);
-}
-
-void ExpAverage::AddRateSample(double rate, double period) {
-  assert(period > 0.0);
-  if (!has_samples_) {
-    value_ = rate;
-    has_samples_ = true;
-    return;
-  }
-  const double decay = std::pow(1.0 - weight_, period / standard_period_);
-  value_ = (1.0 - decay) * rate + decay * value_;
 }
 
 void ExpAverage::Reset(double value) {

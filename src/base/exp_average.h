@@ -17,6 +17,10 @@
 #ifndef SRC_BASE_EXP_AVERAGE_H_
 #define SRC_BASE_EXP_AVERAGE_H_
 
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
 namespace eas {
 
 class ExpAverage {
@@ -36,10 +40,71 @@ class ExpAverage {
   // time units (e.g. joules consumed during the period). The average tracks
   // the *rate* per standard period (e.g. joules per timeslice, i.e. power up
   // to a constant factor).
-  void AddSample(double value, double period);
+  void AddSample(double value, double period) {
+    AddRateSample(value * standard_period_ / period, period);
+  }
 
   // Folds in a rate sample directly (already per standard period).
-  void AddRateSample(double rate, double period);
+  //
+  // The decay factor (1-p)^(period/standard) is memoized on `period`: the
+  // engine's hot paths feed fixed-length periods (every tick is
+  // kTickSeconds, every committed timeslice round the same grant), so the
+  // pow() collapses to one compare almost every call. std::pow is
+  // deterministic for identical arguments, so the memoized value is
+  // bit-identical to recomputing it.
+  void AddRateSample(double rate, double period) {
+    assert(period > 0.0);
+    if (!has_samples_) {
+      value_ = rate;
+      has_samples_ = true;
+      return;
+    }
+    if (period != cached_period_) {
+      cached_period_ = period;
+      cached_decay_ = std::pow(1.0 - weight_, period / standard_period_);
+    }
+    const double decay = cached_decay_;
+    value_ = (1.0 - decay) * rate + decay * value_;
+  }
+
+  // Folds in `n` consecutive identical rate samples, bit-identically to
+  // calling AddRateSample(rate, period) n times. The naive loop evaluates
+  // the same decay and the same (1-d)*rate product every iteration (constant
+  // inputs, deterministic pow), so both are hoisted; only the contraction
+  //   value = blended + decay * value
+  // must run per sample. The contraction reaches an exact floating-point
+  // fixed point (a value that maps to itself bitwise), after which further
+  // samples cannot change anything and the loop exits early - this is what
+  // lets the engine's skip-ahead integrate long idle spans at a cost bounded
+  // by convergence, not span length.
+  void AddRateSamples(double rate, double period, std::int64_t n) {
+    assert(period > 0.0);
+    if (n <= 0) {
+      return;
+    }
+    if (!has_samples_) {
+      value_ = rate;
+      has_samples_ = true;
+      if (--n == 0) {
+        return;
+      }
+    }
+    if (period != cached_period_) {
+      cached_period_ = period;
+      cached_decay_ = std::pow(1.0 - weight_, period / standard_period_);
+    }
+    const double decay = cached_decay_;
+    const double blended = (1.0 - decay) * rate;
+    double value = value_;
+    for (; n > 0; --n) {
+      const double next = blended + decay * value;
+      if (next == value) {
+        break;
+      }
+      value = next;
+    }
+    value_ = value;
+  }
 
   // Forces the average to a value (used to seed a task's profile from the
   // binary registry, Section 4.6).
@@ -54,6 +119,11 @@ class ExpAverage {
   double weight_;
   double standard_period_;
   double value_ = 0.0;
+  // Memoized decay: cached_decay_ == pow(1 - weight_, cached_period_ /
+  // standard_period_) whenever cached_period_ != 0 (0 is unreachable as a
+  // real period, AddRateSample asserts period > 0).
+  double cached_period_ = 0.0;
+  double cached_decay_ = 1.0;
   bool has_samples_ = false;
 };
 

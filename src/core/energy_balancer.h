@@ -50,6 +50,14 @@ class EnergyLoadBalancer {
   EnergyLoadBalancer();
   explicit EnergyLoadBalancer(const Options& options);
 
+  // Idle-machine no-op guarantee (the engine's skip-ahead capability flag):
+  // with every runqueue empty the energy step returns at its
+  // remote.nr_running() < 2 guard and the load step inherits
+  // LoadBalancer's min-imbalance exit, so a pass only reads aggregates
+  // (the per-pass BalanceAggregateCache is reset on every pass, so skipped
+  // passes leave nothing stale behind) and draws no RNG.
+  static constexpr bool kIdleMachineNoop = true;
+
   struct Result {
     int energy_migrations = 0;    // hot pulls from the energy step
     int exchange_migrations = 0;  // cool tasks pushed back in exchange

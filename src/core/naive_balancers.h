@@ -31,6 +31,11 @@ class PowerOnlyBalancer {
   PowerOnlyBalancer();
   explicit PowerOnlyBalancer(const Options& options);
 
+  // Idle-machine no-op (skip-ahead capability): NaiveBalance only pulls from
+  // queues with nr_running() >= 2 and the trailing load step exits on the
+  // min-imbalance guard, so an all-idle pass mutates nothing.
+  static constexpr bool kIdleMachineNoop = true;
+
   // One pass for `cpu`; returns tasks migrated.
   int Balance(int cpu, BalanceEnv& env) const;
 
@@ -47,6 +52,11 @@ class TemperatureOnlyBalancer {
 
   TemperatureOnlyBalancer();
   explicit TemperatureOnlyBalancer(const Options& options);
+
+  // Idle-machine no-op (skip-ahead capability): same shape as
+  // PowerOnlyBalancer - NaiveBalance's nr_running() >= 2 pull guard plus the
+  // load step's min-imbalance exit.
+  static constexpr bool kIdleMachineNoop = true;
 
   int Balance(int cpu, BalanceEnv& env) const;
 

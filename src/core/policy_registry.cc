@@ -1,6 +1,7 @@
 #include "src/core/policy_registry.h"
 
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 #include "src/core/energy_balancer.h"
@@ -9,6 +10,16 @@
 
 namespace eas {
 namespace {
+
+// A balancer class declares `static constexpr bool kIdleMachineNoop = true`
+// (with the proof in a comment at the declaration) to let the engine's
+// skip-ahead elide its idle-interval passes; anything without the member
+// stays conservatively on the naive path.
+template <typename Balancer, typename = void>
+struct IdleMachineNoopTrait : std::false_type {};
+template <typename Balancer>
+struct IdleMachineNoopTrait<Balancer, std::void_t<decltype(Balancer::kIdleMachineNoop)>>
+    : std::bool_constant<Balancer::kIdleMachineNoop> {};
 
 // Adapts a concrete balancer (each with its own Balance signature) to the
 // BalancePolicy interface. `Balancer::Balance` must be callable as
@@ -25,6 +36,8 @@ class PolicyAdapter : public BalancePolicy {
   }
 
   const std::string& name() const override { return name_; }
+
+  bool IdleMachineIsNoop() const override { return IdleMachineNoopTrait<Balancer>::value; }
 
  private:
   static int Migrations(int count) { return count; }

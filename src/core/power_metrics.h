@@ -28,6 +28,10 @@ class CpuPowerState {
   // Folds `joules` consumed over `period_seconds` into the thermal power.
   void AccountEnergy(double joules, double period_seconds);
 
+  // Folds `n` identical periods in one call, bit-identically to n
+  // AccountEnergy calls (the skip-ahead engine's idle-span integration).
+  void AccountEnergyRepeated(double joules, double period_seconds, std::int64_t n);
+
   // Thermal power (W): follows the package temperature.
   double thermal_power() const { return thermal_average_.value(); }
 

@@ -24,6 +24,15 @@ class BalancePolicy {
 
   // The registry name this policy was created under.
   virtual const std::string& name() const = 0;
+
+  // True when one Balance() pass over a machine whose runqueues are *all*
+  // empty is guaranteed to be a no-op: no env or policy state mutated, no
+  // RNG drawn, nothing observable. The engine's quiescent-span skip-ahead
+  // relies on this to elide idle-interval balance passes; a policy must opt
+  // in explicitly (the builtins do, with the proof at their opt-in site).
+  // The conservative default keeps an unknown policy on the naive
+  // tick-by-tick path, so skip-ahead can never change its behaviour.
+  virtual bool IdleMachineIsNoop() const { return false; }
 };
 
 }  // namespace eas

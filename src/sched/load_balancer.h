@@ -38,6 +38,12 @@ class LoadBalancer {
   LoadBalancer();
   explicit LoadBalancer(const Options& options);
 
+  // Idle-machine no-op guarantee (the engine's skip-ahead capability flag):
+  // with every runqueue empty, PullFromBusiest exits at every level because
+  // busiest->nr_running() (0) < local.nr_running() (0) + min_imbalance, so a
+  // pass reads loads but mutates nothing and draws no RNG.
+  static constexpr bool kIdleMachineNoop = true;
+
   // One balancing pass for `cpu`. Returns the number of tasks pulled.
   int Balance(int cpu, BalanceEnv& env) const;
 

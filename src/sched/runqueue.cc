@@ -21,6 +21,7 @@ void Runqueue::Enqueue(Task* task) {
   task->set_state(TaskState::kRunnable);
   queued_.push_back(task);
   AddQueuedPower(task);
+  Bump(+1);
 }
 
 void Runqueue::EnqueueFront(Task* task) {
@@ -28,6 +29,7 @@ void Runqueue::EnqueueFront(Task* task) {
   task->set_state(TaskState::kRunnable);
   queued_.push_front(task);
   AddQueuedPower(task);
+  Bump(+1);
 }
 
 bool Runqueue::Remove(Task* task) {
@@ -37,10 +39,16 @@ bool Runqueue::Remove(Task* task) {
   }
   queued_.erase(it);
   SubtractQueuedPower(task);
+  Bump(-1);
   return true;
 }
 
 Task* Runqueue::PickNext() {
+  // A replaced current leaves the nr_running accounting; popping the front
+  // into current is net zero (one queued becomes one running).
+  if (current_ != nullptr) {
+    Bump(-1);
+  }
   if (queued_.empty()) {
     current_ = nullptr;
     return nullptr;
@@ -54,6 +62,9 @@ Task* Runqueue::PickNext() {
 
 Task* Runqueue::TakeCurrent() {
   Task* task = current_;
+  if (task != nullptr) {
+    Bump(-1);
+  }
   current_ = nullptr;
   return task;
 }

@@ -10,6 +10,7 @@
 #define SRC_SCHED_RUNQUEUE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 
 #include "src/task/task.h"
@@ -22,6 +23,17 @@ class Runqueue {
 
   int cpu() const { return cpu_; }
 
+  // Points this queue at a machine-wide nr_running counter (owned by the
+  // SimulationState that owns the queue). Every mutation keeps the counter
+  // equal to the sum of nr_running() over the attached queues, which makes
+  // "is the whole machine idle" an O(1) read for the skip-ahead planner
+  // instead of an O(CPUs) scan per tick. Folds in the queue's current
+  // population, so attaching is valid at any point.
+  void AttachRunnableCounter(std::int64_t* counter) {
+    runnable_counter_ = counter;
+    *counter += static_cast<std::int64_t>(nr_running());
+  }
+
   // --- queue manipulation ---------------------------------------------------
   void Enqueue(Task* task);       // to the back (normal rotation)
   void EnqueueFront(Task* task);  // to the front (woken tasks run soon)
@@ -32,7 +44,10 @@ class Runqueue {
   Task* PickNext();
 
   Task* current() const { return current_; }
-  void SetCurrent(Task* task) { current_ = task; }
+  void SetCurrent(Task* task) {
+    Bump((task != nullptr ? 1 : 0) - (current_ != nullptr ? 1 : 0));
+    current_ = task;
+  }
 
   // Detaches and returns the current task (it keeps running elsewhere or
   // goes to sleep); the CPU will pick a new current.
@@ -69,10 +84,17 @@ class Runqueue {
   void AddQueuedPower(Task* task);
   void SubtractQueuedPower(const Task* task);
 
+  void Bump(int delta) {
+    if (runnable_counter_ != nullptr) {
+      *runnable_counter_ += delta;
+    }
+  }
+
   int cpu_;
   std::deque<Task*> queued_;
   Task* current_ = nullptr;
   double queued_power_sum_ = 0.0;
+  std::int64_t* runnable_counter_ = nullptr;
 };
 
 }  // namespace eas

@@ -34,6 +34,18 @@ class Accounting : public TickObserver {
 
   void OnTick(const SimulationState& state) override;
 
+  // The next now value on the sampling grid: OnTick samples when the ticks
+  // elapsed since creation hit a multiple of the interval, and is a no-op
+  // everywhere else, so the engine's skip-ahead can jump between grid
+  // points.
+  Tick NextObservableTick(Tick now) const override {
+    const Tick interval = options_.sample_interval_ticks;
+    const Tick since = now - start_tick_;
+    const Tick elapsed = since < 0 ? 0 : since;
+    const Tick rounded = ((elapsed + interval - 1) / interval) * interval;
+    return start_tick_ + rounded + 1;
+  }
+
   SeriesSet& thermal_power() { return thermal_power_; }
   SeriesSet& temperature() { return temperature_; }
   SeriesSet& task_cpu() { return task_cpu_; }

@@ -52,6 +52,11 @@ class TickEventQueue {
     return entry;
   }
 
+  // Tick of the earliest pending entry, `none` when the queue is empty. The
+  // engine's skip-ahead uses this to bound a quiescent span without popping:
+  // nothing in this queue can fire before the returned tick.
+  Tick NextEventTick(Tick none) const { return heap_.empty() ? none : heap_.front().tick; }
+
   std::size_t size() const { return heap_.size(); }
   bool empty() const { return heap_.empty(); }
   void Clear() { heap_.clear(); }

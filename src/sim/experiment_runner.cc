@@ -38,32 +38,49 @@ void ExperimentRunner::RunEach(
   // thread - that would terminate the process - so the lowest-indexed
   // failure is captured and rethrown after the join, matching what the
   // single-threaded path would have raised first.
-  std::atomic<std::size_t> next{0};
+  //
+  // Scaling: the cursor lives on its own cache line so cursor traffic never
+  // invalidates the line holding the failure state or the caller's capture,
+  // and workers claim contiguous chunks of specs (about four claims per
+  // worker over the sweep) instead of one spec per fetch_add, so cursor
+  // contention does not grow with the spec count. Chunking only changes
+  // which thread runs which spec - every spec still runs exactly once and
+  // results stay keyed by index - so determinism across thread counts is
+  // unchanged.
+  const std::size_t workers = std::min(num_threads_, specs.size());
+  const std::size_t chunk = std::max<std::size_t>(1, specs.size() / (workers * 4));
+
+  struct alignas(64) PaddedCursor {
+    std::atomic<std::size_t> next{0};
+  };
+  PaddedCursor cursor;
   std::mutex consume_mutex;
   std::size_t failed_index = specs.size();
   std::exception_ptr failure;
   auto worker = [&]() {
     while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= specs.size()) {
+      const std::size_t start = cursor.next.fetch_add(chunk);
+      if (start >= specs.size()) {
         return;
       }
-      try {
-        Experiment experiment(specs[i].config, specs[i].options);
-        RunResult result = experiment.Run(specs[i].workload);
-        std::lock_guard<std::mutex> lock(consume_mutex);
-        consume(i, std::move(result));
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(consume_mutex);
-        if (i < failed_index) {
-          failed_index = i;
-          failure = std::current_exception();
+      const std::size_t stop = std::min(start + chunk, specs.size());
+      for (std::size_t i = start; i < stop; ++i) {
+        try {
+          Experiment experiment(specs[i].config, specs[i].options);
+          RunResult result = experiment.Run(specs[i].workload);
+          std::lock_guard<std::mutex> lock(consume_mutex);
+          consume(i, std::move(result));
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(consume_mutex);
+          if (i < failed_index) {
+            failed_index = i;
+            failure = std::current_exception();
+          }
         }
       }
     }
   };
 
-  const std::size_t workers = std::min(num_threads_, specs.size());
   if (workers <= 1) {
     worker();
   } else {

@@ -11,10 +11,6 @@ Machine::Machine(const MachineConfig& config) : state_(config), engine_(config.s
   FrequencyGovernorRegistry::Global().CreateOrThrow(config.frequency_governor);
 }
 
-void Machine::Run(Tick n) {
-  for (Tick i = 0; i < n; ++i) {
-    Step();
-  }
-}
+void Machine::Run(Tick n) { engine_.Advance(state_, n); }
 
 }  // namespace eas

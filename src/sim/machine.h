@@ -101,7 +101,7 @@ class Machine : public BalanceEnv {
   // Estimated total energy attributed to tasks so far (J).
   double TotalTaskEnergy() const { return state_.TotalTaskEnergy(); }
 
-  const std::vector<std::unique_ptr<Task>>& tasks() const { return state_.tasks(); }
+  const std::vector<Task*>& tasks() const { return state_.tasks(); }
   Task* task(std::size_t i) { return state_.task(i); }
 
   const BinaryRegistry& binary_registry() const { return state_.binary_registry(); }

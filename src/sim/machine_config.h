@@ -76,6 +76,15 @@ struct MachineConfig {
   // Completed tasks restart their program (throughput accounting).
   bool respawn_completed = true;
 
+  // Closed-form skip-ahead over quiescent spans: when every runqueue is
+  // empty and the balancing policy guarantees idle passes are no-ops, the
+  // engine advances to the next interesting tick (wake, arrival, accounting
+  // sample) through a reduced kernel that reproduces the naive tick's state
+  // updates bit-identically. The RunRequest key `skip-ahead` / eastool's
+  // --no-skip-ahead flips this for A/B timing; results are identical either
+  // way, only wall-clock changes.
+  bool skip_ahead = true;
+
   std::uint64_t seed = 42;
 };
 

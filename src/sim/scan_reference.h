@@ -40,7 +40,7 @@ class ScanReferenceStepper {
     }
     for (const auto& task : state.tasks()) {
       if (task->state() == TaskState::kSleeping && task->wake_tick() <= state.now()) {
-        state.runqueue(task->cpu()).EnqueueFront(task.get());
+        state.runqueue(task->cpu()).EnqueueFront(task);
       }
     }
     const std::size_t physical = state.num_physical();

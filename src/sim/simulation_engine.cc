@@ -62,6 +62,105 @@ void SimulationEngine::Tick(SimulationState& state) {
   }
 }
 
+void SimulationEngine::Advance(SimulationState& state, eas::Tick ticks) {
+  const MachineConfig& config = state.config();
+  const bool skip_eligible = config.skip_ahead && balance_.policy().IdleMachineIsNoop();
+  const bool fast_eligible =
+      skip_eligible && !config.governed() && !config.throttling_enabled;
+  const eas::Tick end = state.now() + ticks;
+
+  while (state.now() < end) {
+    if (skip_eligible && state.total_runnable() == 0) {
+      // Next interesting tick: the span must stop where a naive tick would
+      // do real work. A wake or arrival due at tick t is processed at the
+      // start of the tick beginning at t, so the span may run up to t
+      // exactly; observers fire after the clock advances, so the fast path
+      // (which skips them) stops at the earliest observable now value.
+      eas::Tick span_end = end;
+      span_end = std::min(span_end, state.wake_queue().NextEventTick(span_end));
+      span_end = std::min(span_end, state.arrival_queue().NextEventTick(span_end));
+      if (fast_eligible) {
+        for (TickObserver* observer : observers_) {
+          span_end = std::min(span_end, observer->NextObservableTick(state.now()));
+        }
+      }
+      const eas::Tick span = span_end - state.now();
+      if (span > 0) {
+        if (fast_eligible) {
+          RunQuiescentSpanFast(state, span);
+          // The span boundary may be an observer's sampling tick; calling
+          // every observer is safe because off-grid OnTicks are no-ops by
+          // the NextObservableTick contract.
+          for (TickObserver* observer : observers_) {
+            observer->OnTick(state);
+          }
+        } else {
+          RunQuiescentSpanSlow(state, span);
+        }
+        continue;
+      }
+    }
+    Tick(state);
+  }
+}
+
+void SimulationEngine::RunQuiescentSpanFast(SimulationState& state, eas::Tick span) {
+  // Exactly the state a naive idle tick mutates, integrated over the span:
+  //  - every logical CPU's thermal-power average absorbs its idle share
+  //    (CounterSampler's inactive-sibling credit; no CPU is active);
+  //  - every package's true power is the halt power (ThermalStepper with
+  //    active_count == 0 and zero dynamic energy) and its RC model steps at
+  //    that constant power.
+  // Heap peeks, switch-in, selection, execution, lifecycle and balancing
+  // touch nothing on an idle machine and draw no randomness, so eliding
+  // them is bit-neutral. The bulk helpers replay the per-tick floating-
+  // point recurrences exactly (hoisting only constant-operand expressions).
+  const double idle_share = state.IdlePowerPerLogical();
+  const double idle_joules = idle_share * kTickSeconds;
+  const std::size_t logical = state.num_cpus();
+  for (std::size_t cpu = 0; cpu < logical; ++cpu) {
+    state.power_state(static_cast<int>(cpu))
+        .AccountEnergyRepeated(idle_joules, kTickSeconds, span);
+  }
+
+  // ThermalStepper's idle expression: halt static power plus zero dynamic
+  // energy over the tick. `+ 0.0 / kTickSeconds` adds exact +0.0 to a
+  // positive value, so the result is bitwise the halt power.
+  const double true_power = state.config().model.halt_power() + 0.0 / kTickSeconds;
+  const std::size_t physical = state.num_physical();
+  for (std::size_t phys = 0; phys < physical; ++phys) {
+    state.set_true_power(phys, true_power);
+    state.thermal(phys).StepN(true_power, kTickSeconds, span);
+  }
+
+  state.AdvanceTicks(span);
+}
+
+void SimulationEngine::RunQuiescentSpanSlow(SimulationState& state, eas::Tick span) {
+  // Per-tick reduced kernel: the throttle gate and the frequency governor
+  // read the evolving thermal state (and keep hysteresis latches and
+  // residency counters), so their decisions must be recomputed every tick.
+  // Everything else an idle tick runs is replayed through the same phase
+  // components the full pipeline uses; the skipped phases are the provably
+  // inert ones (heaps, switch-in, selection, execution, lifecycle, balance).
+  const std::size_t physical = state.num_physical();
+  for (eas::Tick i = 0; i < span; ++i) {
+    for (std::size_t phys = 0; phys < physical; ++phys) {
+      const bool throttled = throttle_gate_.GatePackage(state, phys);
+      frequency_.GovernPackage(state, phys, throttled);
+      throttle_gate_.AccountCpuTicks(state, phys, throttled);
+      active_.clear();
+      events_.clear();
+      const double true_dynamic = counter_sampler_.Sample(state, phys, active_, events_);
+      thermal_stepper_.StepPackage(state, phys, active_.size(), true_dynamic);
+    }
+    state.AdvanceTick();
+    for (TickObserver* observer : observers_) {
+      observer->OnTick(state);
+    }
+  }
+}
+
 void SimulationEngine::AddObserver(TickObserver* observer) {
   observers_.push_back(observer);
 }

@@ -45,6 +45,15 @@ class TickObserver {
  public:
   virtual ~TickObserver() = default;
   virtual void OnTick(const SimulationState& state) = 0;
+
+  // Skip-ahead contract: the earliest now value strictly after `now` at
+  // which OnTick does observable work. At every now value before that,
+  // OnTick must be a no-op - the engine's quiescent fast path advances the
+  // clock in bulk and only invokes observers at span boundaries, so a
+  // sparse observer (accounting on a sampling grid) does not force per-tick
+  // stepping. The default declares every tick observable, which keeps any
+  // observer that does not opt in on the exact per-tick path.
+  virtual Tick NextObservableTick(Tick now) const { return now + 1; }
 };
 
 // Periodic balancing: runs the policy selected by name through the
@@ -76,12 +85,38 @@ class SimulationEngine {
   // Advances `state` by one tick through the full pipeline.
   void Tick(SimulationState& state);
 
+  // Advances `state` by `ticks` ticks, end-state and trace bit-identical to
+  // calling Tick that many times. When the machine is quiescent (no task
+  // runnable or running anywhere), the configured policy's idle passes are
+  // proven no-ops, and config().skip_ahead is set, spans up to the next
+  // interesting tick - earliest wake, arrival, observer sample, or the run
+  // budget - are advanced through a reduced kernel instead of the full
+  // pipeline:
+  //  - ungoverned machines with throttling disabled integrate the whole
+  //    span in closed form (bulk exponential-average and RC updates that
+  //    reproduce the per-tick recurrences bit for bit, stopping early at
+  //    their floating-point fixed points) and jump the clock;
+  //  - governed or throttling machines step tick by tick through only the
+  //    phases an idle tick actually exercises (gate, governor, idle energy
+  //    credit, thermal step), skipping heap peeks, switch-in, execution,
+  //    lifecycle and balancing, all of which are provably no-ops.
+  void Advance(SimulationState& state, eas::Tick ticks);
+
   void AddObserver(TickObserver* observer);
   void RemoveObserver(TickObserver* observer);
 
   const BalancePolicy& policy() const { return balance_.policy(); }
 
  private:
+  // Integrates a quiescent span of `span` ticks in bulk (ungoverned,
+  // throttling disabled). Does not invoke observers.
+  void RunQuiescentSpanFast(SimulationState& state, eas::Tick span);
+
+  // Steps a quiescent span tick by tick through the reduced idle kernel
+  // (governor and throttle decisions depend on the evolving thermal state,
+  // so they run every tick). Invokes observers like the full pipeline.
+  void RunQuiescentSpanSlow(SimulationState& state, eas::Tick span);
+
   SchedTick sched_tick_;
   ThrottleGate throttle_gate_;
   FrequencyPhase frequency_;

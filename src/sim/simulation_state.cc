@@ -30,6 +30,10 @@ SimulationState::SimulationState(const MachineConfig& config)
       weights, config_.model.active_base_power() / static_cast<double>(siblings));
 
   const double idle_logical = IdlePowerPerLogical();
+  // Reserved up front: the runqueues never grow, so references handed to the
+  // phase components (and the runnable-counter pointers the queues hold into
+  // this object) stay valid for the state's lifetime.
+  runqueues_.reserve(logical);
   for (std::size_t cpu = 0; cpu < logical; ++cpu) {
     const std::size_t phys = config_.topology.PhysicalOf(static_cast<int>(cpu));
     const ThermalParams& params = config_.cooling.ParamsFor(phys);
@@ -40,7 +44,8 @@ SimulationState::SimulationState(const MachineConfig& config)
       max_physical = params.MaxPowerForTemp(config_.temp_limit);
     }
     max_power_logical_.push_back(max_physical / static_cast<double>(siblings));
-    runqueues_.push_back(std::make_unique<Runqueue>(static_cast<int>(cpu)));
+    runqueues_.emplace_back(static_cast<int>(cpu));
+    runqueues_.back().AttachRunnableCounter(&total_runnable_);
     counters_.emplace_back();
     power_states_.emplace_back(max_power_logical_.back(), params.TimeConstant(), idle_logical);
     throttles_.emplace_back(config_.throttle_hysteresis_watts);
@@ -50,6 +55,13 @@ SimulationState::SimulationState(const MachineConfig& config)
     freq_domains_.emplace_back(config_.pstates);
     last_true_power_.push_back(config_.model.halt_power());
     package_throttles_.emplace_back(config_.throttle_hysteresis_watts);
+  }
+}
+
+SimulationState::~SimulationState() {
+  // Arena-allocated: destroy explicitly (the arena only releases memory).
+  for (Task* task : tasks_) {
+    task->~Task();
   }
 }
 
@@ -64,7 +76,7 @@ double SimulationState::MaxPowerPhysical(std::size_t physical) const {
 }
 
 double SimulationState::RunqueuePower(int cpu) const {
-  return runqueues_[static_cast<std::size_t>(cpu)]->AveragePower(IdlePowerPerLogical());
+  return runqueues_[static_cast<std::size_t>(cpu)].AveragePower(IdlePowerPerLogical());
 }
 
 double SimulationState::ThermalPower(int cpu) const {
@@ -92,15 +104,16 @@ int SimulationState::TaskCpu(const Task& task) {
 }
 
 Task* SimulationState::Spawn(const Program& program, int nice) {
-  auto task = std::make_unique<Task>(next_task_id_++, &program, rng_.NextU64());
-  Task* raw = task.get();
+  void* slot = task_arena_.allocate(sizeof(Task), alignof(Task));
+  Task* raw = new (slot) Task(next_task_id_++, &program, rng_.NextU64());
+  raw->AttachHotColumns(&hot_, hot_.AddRow());
   raw->set_nice(nice);
   // The profile's standard period stays the nice-0 timeslice for every task:
   // the variable-period exponential average normalizes any actual period
   // length (Section 3.3), so profiles of tasks with different priorities
   // remain comparable.
   raw->profile() = EnergyProfile(config_.profile_sample_weight, config_.timeslice_ticks);
-  tasks_.push_back(std::move(task));
+  tasks_.push_back(raw);
 
   const int cpu = PlaceTask(*raw);
   if (!config_.sched.energy_aware_placement) {
@@ -216,7 +229,7 @@ void SimulationState::SwitchInIfIdle(int cpu) {
 
 double SimulationState::TotalWorkDone() const {
   double total = 0.0;
-  for (const auto& task : tasks_) {
+  for (const Task* task : tasks_) {
     total += task->work_done_ticks() +
              static_cast<double>(task->completions()) *
                  static_cast<double>(task->program().total_work_ticks());
@@ -226,7 +239,7 @@ double SimulationState::TotalWorkDone() const {
 
 std::int64_t SimulationState::TotalCompletions() const {
   std::int64_t total = 0;
-  for (const auto& task : tasks_) {
+  for (const Task* task : tasks_) {
     total += task->completions();
   }
   return total;
@@ -234,7 +247,7 @@ std::int64_t SimulationState::TotalCompletions() const {
 
 double SimulationState::TotalTaskEnergy() const {
   double total = 0.0;
-  for (const auto& task : tasks_) {
+  for (const Task* task : tasks_) {
     total += task->total_energy();
   }
   return total;

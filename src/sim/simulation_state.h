@@ -14,7 +14,9 @@
 #ifndef SRC_SIM_SIMULATION_STATE_H_
 #define SRC_SIM_SIMULATION_STATE_H_
 
+#include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <vector>
 
 #include "src/core/initial_placement.h"
@@ -33,13 +35,19 @@ namespace eas {
 class SimulationState : public BalanceEnv {
  public:
   explicit SimulationState(const MachineConfig& config);
+  ~SimulationState() override;
+
+  // Runqueues point at total_runnable_ and tasks live in the arena; the
+  // state is pinned in place for its lifetime.
+  SimulationState(const SimulationState&) = delete;
+  SimulationState& operator=(const SimulationState&) = delete;
 
   // --- BalanceEnv -----------------------------------------------------------
   const CpuTopology& topology() const override { return config_.topology; }
   const DomainHierarchy& domains() const override { return domains_; }
-  Runqueue& runqueue(int cpu) override { return *runqueues_[static_cast<std::size_t>(cpu)]; }
+  Runqueue& runqueue(int cpu) override { return runqueues_[static_cast<std::size_t>(cpu)]; }
   const Runqueue& runqueue(int cpu) const override {
-    return *runqueues_[static_cast<std::size_t>(cpu)];
+    return runqueues_[static_cast<std::size_t>(cpu)];
   }
   double RunqueuePower(int cpu) const override;
   double ThermalPower(int cpu) const override;
@@ -89,7 +97,15 @@ class SimulationState : public BalanceEnv {
     int nice = 0;
   };
   TickEventQueue<Task*>& wake_queue() { return wake_queue_; }
+  const TickEventQueue<Task*>& wake_queue() const { return wake_queue_; }
   TickEventQueue<PendingArrival>& arrival_queue() { return arrival_queue_; }
+  const TickEventQueue<PendingArrival>& arrival_queue() const { return arrival_queue_; }
+
+  // Machine-wide nr_running, maintained incrementally by the runqueues. The
+  // skip-ahead planner's quiescence test: zero means no task is runnable or
+  // running anywhere, so ticks are pure idle physics until the next wake or
+  // arrival.
+  std::int64_t total_runnable() const { return total_runnable_; }
 
   // --- derived quantities ---------------------------------------------------
   std::size_t num_cpus() const { return config_.topology.num_logical(); }
@@ -115,6 +131,9 @@ class SimulationState : public BalanceEnv {
   Rng& rng() { return rng_; }
   Tick now() const { return now_; }
   void AdvanceTick() { ++now_; }
+  // Clock jump for the skip-ahead fast path, after the span's state updates
+  // have been integrated in bulk.
+  void AdvanceTicks(Tick n) { now_ += n; }
 
   CounterBlock& counters(int cpu) { return counters_[static_cast<std::size_t>(cpu)]; }
   CpuPowerState& power_state(int cpu) { return power_states_[static_cast<std::size_t>(cpu)]; }
@@ -137,8 +156,8 @@ class SimulationState : public BalanceEnv {
     last_true_power_[physical] = watts;
   }
 
-  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
-  Task* task(std::size_t i) { return tasks_[i].get(); }
+  const std::vector<Task*>& tasks() const { return tasks_; }
+  Task* task(std::size_t i) { return tasks_[i]; }
 
   const BinaryRegistry& binary_registry() const { return registry_; }
   BinaryRegistry& binary_registry() { return registry_; }
@@ -153,7 +172,7 @@ class SimulationState : public BalanceEnv {
   DomainHierarchy domains_;
   Rng rng_;
 
-  std::vector<std::unique_ptr<Runqueue>> runqueues_;   // per logical
+  std::vector<Runqueue> runqueues_;                    // per logical (contiguous)
   std::vector<CounterBlock> counters_;                 // per logical
   std::vector<CpuPowerState> power_states_;            // per logical
   std::vector<ThrottleController> throttles_;          // per logical (stats)
@@ -167,10 +186,18 @@ class SimulationState : public BalanceEnv {
   BinaryRegistry registry_;
   InitialPlacement placement_;
 
-  std::vector<std::unique_ptr<Task>> tasks_;
+  // Task storage: objects are placement-new'd into a monotonic arena (one
+  // bump allocation per spawn, freed wholesale when the state dies) and the
+  // per-tick hot fields live in the struct-of-arrays columns. The destructor
+  // runs each task's destructor explicitly; the arena then releases the
+  // memory in one shot.
+  std::pmr::monotonic_buffer_resource task_arena_;
+  TaskHotColumns hot_;
+  std::vector<Task*> tasks_;
   TaskId next_task_id_ = 1;
   Tick now_ = 0;
   std::int64_t migration_count_ = 0;
+  std::int64_t total_runnable_ = 0;
 
   // (wake_tick, task_id)-keyed sleeper wakeups; task-id tie-break reproduces
   // the task-table scan order this queue replaced.

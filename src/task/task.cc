@@ -41,7 +41,7 @@ EventVector Task::ExecuteTick(double speed_factor) {
     --warmup_ticks_left_;
   }
 
-  work_done_ticks_ += speed_factor;
+  work_done_ref() += speed_factor;
   --ticks_left_in_phase_;
   if (ticks_left_in_phase_ <= 0) {
     if (phase.mean_sleep_after > 0) {
@@ -63,12 +63,12 @@ Tick Task::TakePendingSleep() {
 
 bool Task::WorkComplete() const {
   return program_->total_work_ticks() > 0 &&
-         work_done_ticks_ >= static_cast<double>(program_->total_work_ticks());
+         work_done_ticks() >= static_cast<double>(program_->total_work_ticks());
 }
 
 void Task::RestartProgram() {
   ++completions_;
-  work_done_ticks_ = 0.0;
+  work_done_ref() = 0.0;
   pending_sleep_ = 0;
   EnterPhase(0);
 }

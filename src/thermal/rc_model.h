@@ -17,6 +17,8 @@
 #ifndef SRC_THERMAL_RC_MODEL_H_
 #define SRC_THERMAL_RC_MODEL_H_
 
+#include <cstdint>
+
 namespace eas {
 
 struct ThermalParams {
@@ -38,6 +40,12 @@ class RcThermalModel {
 
   // Advances the model by `dt_seconds` with `power_watts` dissipated.
   void Step(double power_watts, double dt_seconds);
+
+  // Advances by `n` equal steps at constant power, bit-identically to
+  // calling Step(power_watts, dt_seconds) n times. Hoists the per-step
+  // constants (identical inputs give identical t_ss and decay) and exits
+  // early once the temperature reaches its exact floating-point fixed point.
+  void StepN(double power_watts, double dt_seconds, std::int64_t n);
 
   // Current die temperature (deg C).
   double temperature() const { return temperature_; }

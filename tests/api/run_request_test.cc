@@ -40,6 +40,7 @@ TEST(RunRequestParseTest, ParsesEveryKey) {
       "max-power = 40\n"
       "temp-limit = 38\n"
       "throttle = true\n"
+      "skip-ahead = off\n"
       "seed = 7\n"
       "runs = 3\n");
   EXPECT_EQ(request.name, "my-run");
@@ -51,6 +52,7 @@ TEST(RunRequestParseTest, ParsesEveryKey) {
   EXPECT_EQ(request.max_power, 40.0);
   EXPECT_EQ(request.temp_limit, 38.0);
   EXPECT_EQ(request.throttle, true);
+  EXPECT_EQ(request.skip_ahead, false);
   EXPECT_EQ(request.seed, 7u);
   EXPECT_EQ(request.runs, 3u);
   EXPECT_FALSE(request.workload.has_value());
@@ -81,6 +83,8 @@ TEST(RunRequestParseTest, RejectsBadValuesNamingLineAndKey) {
   EXPECT_NE(ParseError("seed = -3\n").find("bad value for seed"), std::string::npos);
   EXPECT_NE(ParseError("runs = 2.5\n").find("bad value for runs"), std::string::npos);
   EXPECT_NE(ParseError("throttle = maybe\n").find("bad value for throttle"),
+            std::string::npos);
+  EXPECT_NE(ParseError("skip-ahead = bananas\n").find("bad value for skip-ahead"),
             std::string::npos);
   EXPECT_NE(ParseError("scenario = a\nmax-power = x\n").find("line 2"), std::string::npos);
 }
@@ -157,6 +161,7 @@ TEST(RunRequestFormatTest, FormatParseIsIdentity) {
   request.policy = "load_only";
   request.duration_s = 12.5;
   request.throttle = false;
+  request.skip_ahead = false;
   request.seed = 11;
   request.runs = 4;
   const std::string text = FormatRunRequest(request);
@@ -222,6 +227,19 @@ TEST(RunRequestResolveTest, ScenarioFieldsInheritUnlessOverridden) {
   // Untouched scenario fields survive the overrides.
   EXPECT_EQ(overridden->specs[0].config.explicit_max_power_physical, 40.0);
   EXPECT_EQ(overridden->specs[0].workload.size(), 4u);
+}
+
+TEST(RunRequestResolveTest, SkipAheadFlowsIntoTheMachineConfig) {
+  std::string error;
+  const auto defaulted = ResolveRunRequest(RunRequest{}, &error);
+  ASSERT_TRUE(defaulted.has_value()) << error;
+  EXPECT_TRUE(defaulted->specs[0].config.skip_ahead);
+
+  RunRequest request;
+  request.skip_ahead = false;
+  const auto disabled = ResolveRunRequest(request, &error);
+  ASSERT_TRUE(disabled.has_value()) << error;
+  EXPECT_FALSE(disabled->specs[0].config.skip_ahead);
 }
 
 TEST(RunRequestResolveTest, PolicyAliasesNormalize) {

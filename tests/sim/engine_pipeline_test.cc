@@ -33,7 +33,7 @@ class ManualStepper {
     // Wake sleepers.
     for (const auto& task : s.tasks()) {
       if (task->state() == TaskState::kSleeping && task->wake_tick() <= s.now()) {
-        s.runqueue(task->cpu()).EnqueueFront(task.get());
+        s.runqueue(task->cpu()).EnqueueFront(task);
       }
     }
 

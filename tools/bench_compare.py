@@ -10,8 +10,10 @@ exits non-zero when the current run regresses by more than the threshold
 (default 25%, overridable via --threshold or the BENCH_COMPARE_THRESHOLD
 environment variable - CI runners are noisy, calibrate there, not here):
 
-  tick_hot_path:  engine_ticks_per_second per population row, and the
-                  engine/scan cross-check must still report identical states.
+  tick_hot_path:  engine_ticks_per_second per named row (the population rows
+                  plus the sparse_idle skip-ahead row), and every row's
+                  bit-identity cross-check (engine vs scan, skip vs naive)
+                  must still report identical states.
   sweep_scaling:  single_thread_ticks_per_second, and the sweep must still be
                   deterministic across thread counts.
   governor_sweep: simulated throughput (work-ticks/s) per governor x policy
@@ -112,28 +114,34 @@ class Gate:
 
 
 def compare_tick_hot_path(baseline, current, gate):
-    gate.config("ticks", baseline.get("ticks"), current.get("ticks"))
-    base_rows = {row["tasks"]: row for row in baseline.get("populations", [])}
+    # Wall-clock ticks/s depend on the measurement conditions, so the run
+    # configuration must match before any rate is comparable.
+    for field in ("ticks", "sparse_ticks", "threads", "build_type"):
+        gate.config(field, baseline.get(field), current.get(field))
+    base_rows = {row["name"]: row for row in baseline.get("populations", [])}
     gate.config(
-        "populations",
+        "rows",
         sorted(base_rows),
-        sorted(row["tasks"] for row in current.get("populations", [])),
+        sorted(row["name"] for row in current.get("populations", [])),
     )
     for row in current.get("populations", []):
-        tasks = row["tasks"]
-        base = base_rows.get(tasks)
+        name = row["name"]
+        base = base_rows.get(name)
         if base is None:
-            continue  # already failed via the populations config check
+            continue  # already failed via the rows config check
         gate.rate(
-            f"engine_ticks_per_second[tasks={tasks}]",
+            f"engine_ticks_per_second[{name}]",
             base["engine_ticks_per_second"],
             row["engine_ticks_per_second"],
         )
-        gate.invariant(f"engine/scan identical[tasks={tasks}]", row.get("identical", False))
+        gate.invariant(f"bit-identical states[{name}]", row.get("identical", False))
 
 
 def compare_sweep_scaling(baseline, current, gate):
-    for field in ("runs", "duration_ticks"):
+    # threads and build_type shape the wall-clock numbers as much as the
+    # sweep shape does - a debug run or a different thread count against a
+    # release baseline must refuse, not silently "pass".
+    for field in ("runs", "duration_ticks", "threads", "build_type"):
         gate.config(field, baseline.get(field), current.get(field))
     gate.rate(
         "single_thread_ticks_per_second",

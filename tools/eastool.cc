@@ -57,6 +57,9 @@ void PrintUsage() {
       "  --max-power W       explicit per-package power limit\n"
       "  --temp-limit C      derive per-package limits from cooling (default 38)\n"
       "  --throttle          enforce thermal throttling\n"
+      "  --no-skip-ahead     step quiescent spans tick by tick instead of\n"
+      "                      skipping ahead (results are bit-identical; this\n"
+      "                      is the A/B timing escape hatch)\n"
       "  --request FILE      load a RunRequest file (key = value lines; flags\n"
       "                      above override its fields)\n"
       "  --batch FILE        run every request in FILE (one per line, 'key = v;\n"
@@ -81,14 +84,15 @@ constexpr const char* kKnownFlags[] = {
     "policy",     "workload",       "governor",       "duration-s",  "runs",
     "seed",       "request",        "batch",          "print-request", "threads",
     "trace-csv",  "summary-csv",    "jsonl",          "plot",        "max-power",
-    "temp-limit", "throttle"};
+    "temp-limit", "throttle",       "no-skip-ahead"};
 
 // The flags that shape the request itself (as opposed to execution/output);
 // rejected with --batch, where the batch file is the single source of truth.
 constexpr const char* kRequestFlags[] = {"scenario",   "topology",   "policy",
                                          "workload",   "governor",   "duration-s",
                                          "runs",       "seed",       "max-power",
-                                         "temp-limit", "throttle",   "request"};
+                                         "temp-limit", "throttle",   "no-skip-ahead",
+                                         "request"};
 
 bool ReadFileToString(const std::string& path, std::string* out) {
   std::ifstream stream(path, std::ios::binary);
@@ -123,6 +127,11 @@ bool ApplyFlagOverrides(const eas::FlagParser& flags, eas::RunRequest* request) 
   // through the key = value path verbatim.
   if (flags.Has("throttle")) {
     request->throttle = flags.GetBool("throttle", false);
+  }
+  // --no-skip-ahead is likewise a bare switch; it maps onto the request's
+  // skip-ahead key (the file spelling of the same choice).
+  if (flags.Has("no-skip-ahead")) {
+    request->skip_ahead = false;
   }
   return true;
 }
