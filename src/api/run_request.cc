@@ -21,8 +21,8 @@ namespace {
 // replaces.
 constexpr const char* kKeys[] = {"name",       "scenario", "topology",   "workload",
                                  "policy",     "governor", "duration-s", "max-power",
-                                 "temp-limit", "throttle", "skip-ahead", "seed",
-                                 "runs"};
+                                 "temp-limit", "throttle", "skip-ahead", "intra-threads",
+                                 "seed",       "runs"};
 
 std::string KnownKeys() {
   std::string known;
@@ -138,7 +138,7 @@ bool ApplyPair(const std::string& key, const std::string& value, RunRequest* req
     }
     return true;
   }
-  if (key == "seed" || key == "runs") {
+  if (key == "seed" || key == "runs" || key == "intra-threads") {
     std::uint64_t parsed = 0;
     if (!ParseUintValue(value, &parsed)) {
       Fail(error, "bad value for " + key + ": \"" + value + "\" (want a non-negative integer)");
@@ -146,8 +146,10 @@ bool ApplyPair(const std::string& key, const std::string& value, RunRequest* req
     }
     if (key == "seed") {
       request->seed = parsed;
-    } else {
+    } else if (key == "runs") {
       request->runs = parsed;
+    } else {
+      request->intra_threads = parsed;
     }
     return true;
   }
@@ -199,6 +201,9 @@ std::string FormatWithSeparator(const RunRequest& request, const char* separator
   }
   if (request.skip_ahead.has_value()) {
     Append(&out, "skip-ahead", *request.skip_ahead ? "true" : "false", separator);
+  }
+  if (request.intra_threads.has_value()) {
+    Append(&out, "intra-threads", std::to_string(*request.intra_threads), separator);
   }
   if (request.seed.has_value()) {
     Append(&out, "seed", std::to_string(*request.seed), separator);
@@ -414,6 +419,11 @@ std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std:
   // an unset one keeps the config default (on).
   if (request.skip_ahead.has_value()) {
     spec.config.skip_ahead = *request.skip_ahead;
+  }
+  // Likewise intra-threads: explicit wins, unset keeps the config default
+  // (0 = the historical interleaved tick).
+  if (request.intra_threads.has_value()) {
+    spec.config.intra_run_threads = static_cast<std::size_t>(*request.intra_threads);
   }
   if (!from_scenario || request.seed.has_value()) {
     spec.config.seed = request.seed.value_or(42);

@@ -10,9 +10,10 @@ EnergyLoadBalancer::EnergyLoadBalancer(const Options& options) : options_(option
 
 EnergyLoadBalancer::Result EnergyLoadBalancer::Balance(int cpu, BalanceEnv& env) const {
   Result result;
-  env.aggregate_cache().BeginPass();
-  for (const SchedDomain* domain : env.domains().DomainsFor(cpu)) {
-    const CpuGroup* local_group = domain->GroupOf(cpu);
+  env.aggregate_cache().BeginPass(env);
+  for (const DomainCursor& cursor : env.domains().StackFor(cpu)) {
+    const SchedDomain* domain = cursor.domain;
+    const CpuGroup* local_group = cursor.group;
     if (local_group == nullptr) {
       continue;
     }
@@ -67,10 +68,32 @@ EnergyLoadBalancer::Result EnergyLoadBalancer::EnergyStep(int cpu, const SchedDo
     return result;
   }
 
-  // Hottest queue within the group.
+  // Hottest queue within the group. Deep hierarchies descend the
+  // child-domain links by cached group ratio (O(fanout x depth)); classic
+  // machines keep the historical flat scan.
+  const CpuGroup* scope = hottest_group;
+  if (env.domains().num_levels() > 3) {
+    while (scope->child_domain >= 0) {
+      const SchedDomain& child =
+          env.domains().domains()[static_cast<std::size_t>(scope->child_domain)];
+      const CpuGroup* hottest_sub = nullptr;
+      double hottest_sub_ratio = 0.0;
+      for (const CpuGroup& sub : child.groups) {
+        const double ratio = cache.RunqueuePowerRatio(sub, env);
+        if (hottest_sub == nullptr || ratio > hottest_sub_ratio) {
+          hottest_sub = &sub;
+          hottest_sub_ratio = ratio;
+        }
+      }
+      if (hottest_sub == nullptr) {
+        break;
+      }
+      scope = hottest_sub;
+    }
+  }
   int hottest_cpu = -1;
   double hottest_cpu_ratio = 0.0;
-  for (int remote_cpu : hottest_group->cpus) {
+  for (int remote_cpu : scope->cpus) {
     const double ratio = rq_ratio(remote_cpu);
     if (hottest_cpu < 0 || ratio > hottest_cpu_ratio) {
       hottest_cpu = remote_cpu;
@@ -140,7 +163,7 @@ EnergyLoadBalancer::Result EnergyLoadBalancer::EnergyStep(int cpu, const SchedDo
   if (!env.MigrateTask(hot_task, hottest_cpu, cpu)) {
     return result;
   }
-  cache.Invalidate();
+  cache.InvalidateCpus(env, hottest_cpu, cpu);
   ++result.energy_migrations;
 
   // 4. Migrate a cool task back if the pull created a load imbalance.
@@ -156,7 +179,7 @@ EnergyLoadBalancer::Result EnergyLoadBalancer::EnergyStep(int cpu, const SchedDo
       }
     }
     if (cool_task != nullptr && env.MigrateTask(cool_task, cpu, hottest_cpu)) {
-      cache.Invalidate();
+      cache.InvalidateCpus(env, cpu, hottest_cpu);
       ++result.exchange_migrations;
     }
   }

@@ -43,7 +43,8 @@ HotTaskMigrator::Result HotTaskMigrator::Check(int cpu, BalanceEnv& env) const {
   };
   const double source_thermal = package_thermal(cpu);
 
-  for (const SchedDomain* domain : env.domains().DomainsFor(cpu)) {
+  for (const DomainCursor& cursor : env.domains().StackFor(cpu)) {
+    const SchedDomain* domain = cursor.domain;
     if ((domain->flags & kDomainNoEnergyBalance) != 0) {
       // SMT level: migrating to a sibling on the same die does not help.
       continue;
@@ -75,6 +76,7 @@ HotTaskMigrator::Result HotTaskMigrator::Check(int cpu, BalanceEnv& env) const {
     Runqueue& dest = env.runqueue(coolest);
     if (dest.Idle()) {
       if (env.MigrateTask(hot_task, cpu, coolest)) {
+        env.aggregate_cache().InvalidateCpus(env, cpu, coolest);
         result.migrated = true;
         result.destination = coolest;
       }
@@ -92,6 +94,7 @@ HotTaskMigrator::Result HotTaskMigrator::Check(int cpu, BalanceEnv& env) const {
         result.migrated = true;
         result.destination = coolest;
         result.exchanged = env.MigrateTask(dest_task, coolest, cpu);
+        env.aggregate_cache().InvalidateCpus(env, cpu, coolest);
       }
       return result;
     }

@@ -13,8 +13,9 @@ template <typename Metric>
 int NaiveBalance(int cpu, BalanceEnv& env, Metric&& metric, double margin,
                  std::size_t min_load_imbalance) {
   int migrated = 0;
-  for (const SchedDomain* domain : env.domains().DomainsFor(cpu)) {
-    const CpuGroup* local_group = domain->GroupOf(cpu);
+  for (const DomainCursor& cursor : env.domains().StackFor(cpu)) {
+    const SchedDomain* domain = cursor.domain;
+    const CpuGroup* local_group = cursor.group;
     if (local_group == nullptr) {
       continue;
     }
@@ -43,6 +44,7 @@ int NaiveBalance(int cpu, BalanceEnv& env, Metric&& metric, double margin,
         if (hottest_cpu >= 0 && env.runqueue(hottest_cpu).nr_running() >= 2) {
           Task* task = env.runqueue(hottest_cpu).HottestQueued();
           if (task != nullptr && env.MigrateTask(task, hottest_cpu, cpu)) {
+            env.aggregate_cache().InvalidateCpus(env, hottest_cpu, cpu);
             ++migrated;
             // Keep load sane, as the real algorithm does.
             Runqueue& local = env.runqueue(cpu);
@@ -51,6 +53,7 @@ int NaiveBalance(int cpu, BalanceEnv& env, Metric&& metric, double margin,
               Task* cool = local.CoolestQueued();
               if (cool != nullptr && cool != task &&
                   env.MigrateTask(cool, cpu, hottest_cpu)) {
+                env.aggregate_cache().InvalidateCpus(env, cpu, hottest_cpu);
                 ++migrated;
               }
             }

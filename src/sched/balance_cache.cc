@@ -5,33 +5,111 @@
 
 namespace eas {
 
-double BalanceAggregateCache::RunqueuePowerRatio(const CpuGroup& group, const BalanceEnv& env) {
-  Entry& entry = entries_[&group];
-  if (entry.rq_epoch != epoch_) {
-    entry.rq_ratio =
-        LoadBalancer::GroupAverage(group, [&env](int c) { return env.RunqueuePowerRatio(c); });
-    entry.rq_epoch = epoch_;
+void BalanceAggregateCache::BeginPass(const BalanceEnv& env) {
+  const std::uint64_t version = env.metrics_version();
+  if (!has_version_ || version != last_version_) {
+    ++epoch_;
+    last_version_ = version;
+    has_version_ = true;
   }
-  return entry.rq_ratio;
+  deep_rollups_ = env.domains().num_levels() > 3;
+}
+
+void BalanceAggregateCache::InvalidateCpus(const BalanceEnv& env, int from, int to) {
+  for (int cpu : {from, to}) {
+    for (const DomainCursor& cursor : env.domains().StackFor(cpu)) {
+      entries_.erase(cursor.group);
+    }
+  }
+}
+
+double BalanceAggregateCache::RqSum(const CpuGroup& group, const BalanceEnv& env) {
+  auto it = entries_.find(&group);
+  if (it != entries_.end() && it->second.rq_epoch == epoch_) {
+    return it->second.rq_sum;
+  }
+  double sum = 0.0;
+  if (deep_rollups_ && group.child_domain >= 0) {
+    const SchedDomain& child = env.domains().domains()[static_cast<std::size_t>(group.child_domain)];
+    for (const CpuGroup& sub : child.groups) {
+      sum += RqSum(sub, env);  // may rehash entries_; no references held
+    }
+  } else {
+    for (int cpu : group.cpus) {
+      sum += env.RunqueuePowerRatio(cpu);
+    }
+  }
+  Entry& entry = entries_[&group];
+  entry.rq_sum = sum;
+  entry.rq_epoch = epoch_;
+  return sum;
+}
+
+double BalanceAggregateCache::ThermalSum(const CpuGroup& group, const BalanceEnv& env) {
+  auto it = entries_.find(&group);
+  if (it != entries_.end() && it->second.thermal_epoch == epoch_) {
+    return it->second.thermal_sum;
+  }
+  double sum = 0.0;
+  if (deep_rollups_ && group.child_domain >= 0) {
+    const SchedDomain& child = env.domains().domains()[static_cast<std::size_t>(group.child_domain)];
+    for (const CpuGroup& sub : child.groups) {
+      sum += ThermalSum(sub, env);
+    }
+  } else {
+    for (int cpu : group.cpus) {
+      sum += env.ThermalPowerRatio(cpu);
+    }
+  }
+  Entry& entry = entries_[&group];
+  entry.thermal_sum = sum;
+  entry.thermal_epoch = epoch_;
+  return sum;
+}
+
+std::size_t BalanceAggregateCache::LoadTotal(const CpuGroup& group, const BalanceEnv& env) {
+  auto it = entries_.find(&group);
+  if (it != entries_.end() && it->second.load_epoch == epoch_) {
+    return it->second.load_total;
+  }
+  std::size_t total = 0;
+  // Integer addition is associative, so the rollup is exact at any depth and
+  // needs no deep-hierarchy gate - only an existing child link.
+  if (group.child_domain >= 0) {
+    const SchedDomain& child = env.domains().domains()[static_cast<std::size_t>(group.child_domain)];
+    for (const CpuGroup& sub : child.groups) {
+      total += LoadTotal(sub, env);
+    }
+  } else {
+    for (int cpu : group.cpus) {
+      total += env.runqueue(cpu).nr_running();
+    }
+  }
+  Entry& entry = entries_[&group];
+  entry.load_total = total;
+  entry.load_epoch = epoch_;
+  return total;
+}
+
+double BalanceAggregateCache::RunqueuePowerRatio(const CpuGroup& group, const BalanceEnv& env) {
+  if (group.cpus.empty()) {
+    return 0.0;
+  }
+  return RqSum(group, env) / static_cast<double>(group.cpus.size());
 }
 
 double BalanceAggregateCache::ThermalPowerRatio(const CpuGroup& group, const BalanceEnv& env) {
-  Entry& entry = entries_[&group];
-  if (entry.thermal_epoch != epoch_) {
-    entry.thermal_ratio =
-        LoadBalancer::GroupAverage(group, [&env](int c) { return env.ThermalPowerRatio(c); });
-    entry.thermal_epoch = epoch_;
+  if (group.cpus.empty()) {
+    return 0.0;
   }
-  return entry.thermal_ratio;
+  return ThermalSum(group, env) / static_cast<double>(group.cpus.size());
 }
 
 double BalanceAggregateCache::Load(const CpuGroup& group, const BalanceEnv& env) {
-  Entry& entry = entries_[&group];
-  if (entry.load_epoch != epoch_) {
-    entry.load = LoadBalancer::GroupLoad(group, env);
-    entry.load_epoch = epoch_;
+  if (group.cpus.empty()) {
+    return 0.0;
   }
-  return entry.load;
+  return static_cast<double>(LoadTotal(group, env)) / static_cast<double>(group.cpus.size());
 }
 
 }  // namespace eas

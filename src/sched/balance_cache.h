@@ -1,22 +1,32 @@
-// Per-balance-pass cache of CPU-group aggregates.
+// Per-balance-pass cache of CPU-group aggregates, with per-domain rollups.
 //
 // One balancing pass (a single BalancePolicy::Balance call) walks the domain
 // hierarchy bottom-up and repeatedly asks for the same group-level averages:
 // runqueue power ratio, thermal power ratio and load (nr_running). Those
-// aggregates only change when the pass itself migrates a task, so the
-// balancers compute them once per pass through this cache instead of
-// rescanning every group's CPUs at every domain level.
+// aggregates only change when task execution advances the clock or a
+// migration moves a task, so the balancers compute them once through this
+// cache instead of rescanning every group's CPUs at every domain level.
 //
-// Protocol: a balancer calls BeginPass() on entry to Balance() (nothing
-// outside the pass is trusted to keep the cache fresh - task execution and
-// other policies mutate the metrics between passes) and Invalidate() after
-// every migration it performs. Values are computed lazily per group and per
-// metric, with exactly the summation order of the scans they replace, so a
-// cached pass is bit-identical to an uncached one.
+// Protocol: a balancer calls BeginPass(env) on entry to Balance(). That is a
+// no-op while env.metrics_version() is unchanged (several CPUs balancing
+// within one tick share the aggregates) and drops everything once the
+// version moves (task execution mutated the metrics). After a migration the
+// balancer calls InvalidateCpus(env, from, to) - only the group entries on
+// the two CPUs' domain paths can have changed, everything else stays warm -
+// or the sledgehammer Invalidate() when the touched CPUs are unknown.
+//
+// Values are computed lazily per group and per metric. On classic <= 3-level
+// hierarchies the summation is exactly the flat scan it replaces, so a
+// cached pass is bit-identical to an uncached one. On deeper hierarchies the
+// double-valued metrics roll up the child-domain links instead (a group's
+// sum is the sum of its child domain's group sums), making a cold group
+// O(fanout) on warm children instead of O(all CPUs below it); integer load
+// totals roll up at every depth since integer addition is associative.
 
 #ifndef SRC_SCHED_BALANCE_CACHE_H_
 #define SRC_SCHED_BALANCE_CACHE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 
@@ -28,11 +38,23 @@ class BalanceEnv;
 
 class BalanceAggregateCache {
  public:
-  // Starts a fresh pass: every cached value is stale from here on.
-  void BeginPass() { ++epoch_; }
+  // Starts a pass: drops every cached value iff env.metrics_version() moved
+  // since the previous pass, and latches whether the hierarchy is deep
+  // enough for double-metric rollups.
+  void BeginPass(const BalanceEnv& env);
 
-  // Drops all cached values (call after a migration mutated the runqueues).
-  void Invalidate() { ++epoch_; }
+  // Unconditional pass start: every cached value is stale from here on.
+  void BeginPass() { ++epoch_; has_version_ = false; }
+
+  // Drops all cached values (call after a mutation whose footprint is
+  // unknown).
+  void Invalidate() { ++epoch_; has_version_ = false; }
+
+  // Drops the group entries on `from`'s and `to`'s domain paths - the only
+  // aggregates a migration between the two can change. Metrics of every
+  // other CPU are untouched by a migration, so the surviving entries still
+  // equal a fresh recompute bit for bit.
+  void InvalidateCpus(const BalanceEnv& env, int from, int to);
 
   // Average RunqueuePowerRatio over `group`'s CPUs (0 for an empty group).
   double RunqueuePowerRatio(const CpuGroup& group, const BalanceEnv& env);
@@ -46,18 +68,28 @@ class BalanceAggregateCache {
 
  private:
   struct Entry {
-    double rq_ratio = 0.0;
-    double thermal_ratio = 0.0;
-    double load = 0.0;
+    double rq_sum = 0.0;
+    double thermal_sum = 0.0;
+    std::size_t load_total = 0;
     std::uint64_t rq_epoch = 0;
     std::uint64_t thermal_epoch = 0;
     std::uint64_t load_epoch = 0;
   };
 
+  double RqSum(const CpuGroup& group, const BalanceEnv& env);
+  double ThermalSum(const CpuGroup& group, const BalanceEnv& env);
+  std::size_t LoadTotal(const CpuGroup& group, const BalanceEnv& env);
+
   // Groups live in the env's DomainHierarchy, which outlives any pass, so
   // the group address is a stable key.
   std::unordered_map<const CpuGroup*, Entry> entries_;
   std::uint64_t epoch_ = 1;
+  std::uint64_t last_version_ = 0;
+  bool has_version_ = false;
+  // Double-metric rollups change summation order, so they only switch on
+  // for hierarchies deeper than the classic 3 levels (whose outputs are
+  // pinned by the golden tests and scenario captures).
+  bool deep_rollups_ = false;
 };
 
 }  // namespace eas

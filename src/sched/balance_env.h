@@ -23,10 +23,19 @@ class BalanceEnv {
  public:
   virtual ~BalanceEnv() = default;
 
-  // Per-balance-pass cache of group aggregates. Policies call BeginPass() on
-  // entry to Balance() and Invalidate() after each migration they perform;
-  // see src/sched/balance_cache.h for the protocol.
+  // Per-balance-pass cache of group aggregates. Policies call BeginPass(env)
+  // on entry to Balance() and InvalidateCpus()/Invalidate() after each
+  // migration they perform; see src/sched/balance_cache.h for the protocol.
   BalanceAggregateCache& aggregate_cache() const { return aggregate_cache_; }
+
+  // Version stamp of the balance metrics (runqueue contents, profiles,
+  // thermal averages). While it holds still, group aggregates cached in one
+  // pass stay valid for the next - migrations are reported separately via
+  // the cache invalidation calls. The simulation advances it once per tick;
+  // the default implementation never repeats a value, so hand-built test
+  // envs (which mutate metrics at will between passes) keep the historical
+  // invalidate-on-every-pass behaviour.
+  virtual std::uint64_t metrics_version() const { return ++fallback_version_; }
 
   virtual const CpuTopology& topology() const = 0;
   virtual const DomainHierarchy& domains() const = 0;
@@ -63,6 +72,7 @@ class BalanceEnv {
 
  private:
   mutable BalanceAggregateCache aggregate_cache_;
+  mutable std::uint64_t fallback_version_ = 0;
 };
 
 }  // namespace eas

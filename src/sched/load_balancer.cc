@@ -29,18 +29,48 @@ Task* LoadBalancer::PickTask(const Runqueue& queue, PullPreference preference) {
   return nullptr;
 }
 
+Runqueue* LoadBalancer::BusiestQueueIn(const CpuGroup& group, BalanceEnv& env) {
+  const CpuGroup* scope = &group;
+  if (env.domains().num_levels() > 3) {
+    // Deep hierarchy: descend the child-domain links by cached group load
+    // instead of scanning every runqueue under a coarse group - the pull
+    // stays O(fanout x depth) at rack scale. Classic 3-level machines keep
+    // the historical flat scan (and its exact tie-breaking).
+    BalanceAggregateCache& cache = env.aggregate_cache();
+    while (scope->child_domain >= 0) {
+      const SchedDomain& child =
+          env.domains().domains()[static_cast<std::size_t>(scope->child_domain)];
+      const CpuGroup* busiest_sub = nullptr;
+      double busiest_load = 0.0;
+      for (const CpuGroup& sub : child.groups) {
+        const double load = cache.Load(sub, env);
+        if (busiest_sub == nullptr || load > busiest_load) {
+          busiest_sub = &sub;
+          busiest_load = load;
+        }
+      }
+      if (busiest_sub == nullptr) {
+        break;
+      }
+      scope = busiest_sub;
+    }
+  }
+  Runqueue* busiest = nullptr;
+  for (int remote_cpu : scope->cpus) {
+    Runqueue& rq = env.runqueue(remote_cpu);
+    if (busiest == nullptr || rq.nr_running() > busiest->nr_running()) {
+      busiest = &rq;
+    }
+  }
+  return busiest;
+}
+
 int LoadBalancer::PullFromBusiest(int cpu, const CpuGroup& group, PullPreference preference,
                                   std::size_t min_imbalance, BalanceEnv& env) {
   int pulled = 0;
   while (true) {
     Runqueue& local = env.runqueue(cpu);
-    Runqueue* busiest = nullptr;
-    for (int remote_cpu : group.cpus) {
-      Runqueue& rq = env.runqueue(remote_cpu);
-      if (busiest == nullptr || rq.nr_running() > busiest->nr_running()) {
-        busiest = &rq;
-      }
-    }
+    Runqueue* busiest = BusiestQueueIn(group, env);
     if (busiest == nullptr || busiest->nr_running() < local.nr_running() + min_imbalance) {
       break;
     }
@@ -51,7 +81,7 @@ int LoadBalancer::PullFromBusiest(int cpu, const CpuGroup& group, PullPreference
     if (!env.MigrateTask(task, busiest->cpu(), cpu)) {
       break;
     }
-    env.aggregate_cache().Invalidate();
+    env.aggregate_cache().InvalidateCpus(env, busiest->cpu(), cpu);
     ++pulled;
   }
   return pulled;
@@ -59,10 +89,11 @@ int LoadBalancer::PullFromBusiest(int cpu, const CpuGroup& group, PullPreference
 
 int LoadBalancer::Balance(int cpu, BalanceEnv& env) const {
   BalanceAggregateCache& cache = env.aggregate_cache();
-  cache.BeginPass();
+  cache.BeginPass(env);
   int pulled = 0;
-  for (const SchedDomain* domain : env.domains().DomainsFor(cpu)) {
-    const CpuGroup* local_group = domain->GroupOf(cpu);
+  for (const DomainCursor& cursor : env.domains().StackFor(cpu)) {
+    const SchedDomain* domain = cursor.domain;
+    const CpuGroup* local_group = cursor.group;
     if (local_group == nullptr) {
       continue;
     }

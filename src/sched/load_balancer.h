@@ -68,6 +68,11 @@ class LoadBalancer {
   // Picks a task from `queue` according to `preference`; nullptr if empty.
   static Task* PickTask(const Runqueue& queue, PullPreference preference);
 
+  // Longest runqueue within `group`. On deep (> 3-level) hierarchies this
+  // descends the child-domain links by cached group load, O(fanout x depth);
+  // classic machines keep the historical flat scan over the group's CPUs.
+  static Runqueue* BusiestQueueIn(const CpuGroup& group, BalanceEnv& env);
+
   // Pulls tasks onto `cpu` from the longest queue in `group` while that
   // queue exceeds the local one by at least `min_imbalance`, picking per
   // `preference`. Shared by the baseline balancer and the merged energy/load

@@ -133,6 +133,51 @@ ScenarioSpec ServerConsolidation() {
   return spec;
 }
 
+ScenarioSpec DatacenterConsolidation() {
+  ScenarioSpec spec;
+  spec.description =
+      "Cluster stressor: 512-CPU five-level topology (256 packages), ~16k mostly-sleeping "
+      "daemons over a batch floor";
+  // A consolidation *cluster*, not a host: 2 racks x 4 boards x 8 nodes x
+  // 4 packages x 2 SMT = 512 logical CPUs under a five-level domain tree.
+  // This is the scale target the level-list topology, the per-domain
+  // aggregate rollups and the sharded tick pipeline exist for; run it with
+  // --intra-threads N to fan the package phases across workers.
+  spec.config.topology = CpuTopology({{"rack", 2},
+                                      {"board", 4},
+                                      {"node", 8},
+                                      {"package", 4},
+                                      {"smt", 2}});
+  spec.config.cooling =
+      CoolingProfile::Uniform(spec.config.topology.num_physical(), ThermalParams{});
+  spec.config.explicit_max_power_physical = 60.0;
+  auto library = MakeLibrary(spec.config);
+  Workload workload;
+  // A cool batch floor keeps three quarters of the boards busy for the whole
+  // run; the daemon population (sshd/bash sleep most of the time) ramps in
+  // through the arrival queue, spread evenly over the first 16 s. The task
+  // population is ~32x the CPU count, so per-tick cost must scale with the
+  // work due, and the balance walk with the domain fanout - not with either
+  // population.
+  for (int i = 0; i < 192; ++i) {
+    workload.Add(library->memrw());
+  }
+  constexpr int kSshd = 12'288;
+  for (int i = 0; i < kSshd; ++i) {
+    workload.Add(library->sshd(),
+                 /*tick=*/static_cast<Tick>(i) * 16'000 / kSshd);
+  }
+  constexpr int kBash = 4'096;
+  for (int i = 0; i < kBash; ++i) {
+    workload.Add(library->bash(),
+                 /*tick=*/static_cast<Tick>(i) * 16'000 / kBash);
+  }
+  workload.Retain(library);
+  spec.workload = std::move(workload);
+  spec.options.duration_ticks = 20'000;
+  return spec;
+}
+
 ScenarioSpec DvfsVsThrottle() {
   ScenarioSpec spec;
   spec.description =
@@ -239,6 +284,10 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
       ServerConsolidation);
   registry.Register("trace-replay", "Trace playback: staged bitcnts burst over a memrw floor",
                     TraceReplay);
+  registry.Register("datacenter-consolidation",
+                    "Cluster stressor: 512-CPU five-level topology (256 packages), ~16k "
+                    "mostly-sleeping daemons over a batch floor",
+                    DatacenterConsolidation);
   registry.Register("dvfs-vs-throttle",
                     "DVFS half of the capping comparison: paper-hot-task's 40 W cap enforced "
                     "by the thermal-stepdown governor instead of hlt",

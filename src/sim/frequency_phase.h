@@ -34,6 +34,16 @@ class FrequencyPhase {
   // path).
   void GovernPackage(SimulationState& state, std::size_t physical, bool package_throttled);
 
+  // Forces the lazy governor construction now, from a single thread. The
+  // engine's package-parallel pipeline calls this before fanning out:
+  // GovernPackage's first-call initialization mutates shared phase state
+  // (the governor vector and the init flags) and must not race.
+  void EnsureReady(SimulationState& state) {
+    if (!initialized_) {
+      EnsureGovernors(state);
+    }
+  }
+
  private:
   // Governors are created lazily on the first tick because the engine only
   // learns the machine (config and package count) from the state it is

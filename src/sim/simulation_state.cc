@@ -30,10 +30,9 @@ SimulationState::SimulationState(const MachineConfig& config)
       weights, config_.model.active_base_power() / static_cast<double>(siblings));
 
   const double idle_logical = IdlePowerPerLogical();
-  // Reserved up front: the runqueues never grow, so references handed to the
-  // phase components (and the runnable-counter pointers the queues hold into
-  // this object) stay valid for the state's lifetime.
-  runqueues_.reserve(logical);
+
+  // Per-logical max power, in logical-CPU order (phys = cpu mod physical).
+  max_power_logical_.reserve(logical);
   for (std::size_t cpu = 0; cpu < logical; ++cpu) {
     const std::size_t phys = config_.topology.PhysicalOf(static_cast<int>(cpu));
     const ThermalParams& params = config_.cooling.ParamsFor(phys);
@@ -44,17 +43,45 @@ SimulationState::SimulationState(const MachineConfig& config)
       max_physical = params.MaxPowerForTemp(config_.temp_limit);
     }
     max_power_logical_.push_back(max_physical / static_cast<double>(siblings));
-    runqueues_.emplace_back(static_cast<int>(cpu));
-    runqueues_.back().AttachRunnableCounter(&total_runnable_);
-    counters_.emplace_back();
-    power_states_.emplace_back(max_power_logical_.back(), params.TimeConstant(), idle_logical);
-    throttles_.emplace_back(config_.throttle_hysteresis_watts);
   }
+
+  // One shard per package. Reserved up front: the shards never move, so the
+  // flat per-logical pointer tables below (and the runnable-counter pointer
+  // each runqueue holds into its shard) stay valid for the state's lifetime.
+  shards_.reserve(physical);
   for (std::size_t phys = 0; phys < physical; ++phys) {
-    thermal_.emplace_back(config_.cooling.ParamsFor(phys));
-    freq_domains_.emplace_back(config_.pstates);
-    last_true_power_.push_back(config_.model.halt_power());
-    package_throttles_.emplace_back(config_.throttle_hysteresis_watts);
+    shards_.emplace_back(config_.cooling.ParamsFor(phys), config_.pstates,
+                         config_.throttle_hysteresis_watts, config_.model.halt_power());
+    PackageShard& shard = shards_.back();
+    shard.runqueues.reserve(siblings);
+    shard.counters.reserve(siblings);
+    shard.power_states.reserve(siblings);
+    shard.throttles.reserve(siblings);
+    for (std::size_t t = 0; t < siblings; ++t) {
+      const int cpu = config_.topology.LogicalId(phys, t);
+      shard.runqueues.emplace_back(cpu);
+      shard.runqueues.back().AttachRunnableCounter(&shard.runnable);
+      shard.counters.emplace_back();
+      shard.power_states.emplace_back(max_power_logical_[static_cast<std::size_t>(cpu)],
+                                      config_.cooling.ParamsFor(phys).TimeConstant(),
+                                      idle_logical);
+      shard.throttles.emplace_back(config_.throttle_hysteresis_watts);
+    }
+  }
+
+  // Flat O(1) lookup tables, logical-CPU indexed.
+  runqueue_by_cpu_.resize(logical);
+  counter_by_cpu_.resize(logical);
+  power_state_by_cpu_.resize(logical);
+  throttle_by_cpu_.resize(logical);
+  for (std::size_t cpu = 0; cpu < logical; ++cpu) {
+    const std::size_t phys = config_.topology.PhysicalOf(static_cast<int>(cpu));
+    const std::size_t t = config_.topology.ThreadOf(static_cast<int>(cpu));
+    PackageShard& shard = shards_[phys];
+    runqueue_by_cpu_[cpu] = &shard.runqueues[t];
+    counter_by_cpu_[cpu] = &shard.counters[t];
+    power_state_by_cpu_[cpu] = &shard.power_states[t];
+    throttle_by_cpu_[cpu] = &shard.throttles[t];
   }
 }
 
@@ -76,18 +103,18 @@ double SimulationState::MaxPowerPhysical(std::size_t physical) const {
 }
 
 double SimulationState::RunqueuePower(int cpu) const {
-  return runqueues_[static_cast<std::size_t>(cpu)].AveragePower(IdlePowerPerLogical());
+  return runqueue(cpu).AveragePower(IdlePowerPerLogical());
 }
 
 double SimulationState::ThermalPower(int cpu) const {
-  return power_states_[static_cast<std::size_t>(cpu)].thermal_power();
+  return power_state_by_cpu_[static_cast<std::size_t>(cpu)]->thermal_power();
 }
 
 double SimulationState::PackageThermalPower(std::size_t physical) const {
-  const std::size_t siblings = config_.topology.smt_per_physical();
+  const PackageShard& shard = shards_[physical];
   double sum = 0.0;
-  for (std::size_t t = 0; t < siblings; ++t) {
-    sum += ThermalPower(config_.topology.LogicalId(physical, t));
+  for (const CpuPowerState& power : shard.power_states) {
+    sum += power.thermal_power();
   }
   return sum;
 }

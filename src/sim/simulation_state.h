@@ -10,6 +10,19 @@
 // (sched_tick, throttle_gate, counter_sampler, thermal_stepper) orchestrated
 // by the SimulationEngine; state-owned helpers here are the primitives more
 // than one phase needs (placement, period commit, migration).
+//
+// Shard ownership (the cluster-scale contract): all per-CPU and per-package
+// mutable state lives in one PackageShard per physical package. During the
+// engine's package phase loop - gate, governor, switch-in, tick accounting,
+// execute, counter sampling, thermal step - a package's phases read and
+// write only its own shard (plus the hot-column rows of tasks currently on
+// its runqueues, which exactly one package holds at a time), so the loop
+// parallelizes across packages with no cross-shard writes. Everything
+// cross-package - arrivals, wakeups, task lifecycle, balancing, the skip-
+// ahead quiescent kernels - runs sequentially in package order. The
+// machine-wide runnable count is a per-shard counter summed on read, which
+// is what lets runqueues keep their lock-free increment inside the parallel
+// region and still feed the skip-ahead planner's quiescence test.
 
 #ifndef SRC_SIM_SIMULATION_STATE_H_
 #define SRC_SIM_SIMULATION_STATE_H_
@@ -32,28 +45,63 @@
 
 namespace eas {
 
+// Everything one physical package mutates during the engine's package phase
+// loop. `runqueues[t]` etc. are indexed by the SMT thread slot; the flat
+// per-logical tables in SimulationState map `cpu -> &shard(cpu % P).x[cpu / P]`
+// so the hot accessors stay one load. The shard vector is reserved up front
+// and shards never move, so those pointers (and the runnable-counter pointer
+// each runqueue holds into its shard) stay valid for the state's lifetime.
+struct PackageShard {
+  PackageShard(const ThermalParams& params, const PStateTable& pstates,
+               double throttle_hysteresis_watts, double halt_power)
+      : package_throttle(throttle_hysteresis_watts),
+        thermal(params),
+        freq_domain(pstates),
+        last_true_power(halt_power) {}
+
+  std::vector<Runqueue> runqueues;            // per SMT sibling
+  std::vector<CounterBlock> counters;         // per SMT sibling
+  std::vector<CpuPowerState> power_states;    // per SMT sibling
+  std::vector<ThrottleController> throttles;  // per SMT sibling (stats)
+  ThrottleController package_throttle;        // the package halt decision
+  RcThermalModel thermal;
+  FrequencyDomain freq_domain;
+  double last_true_power;
+  // This shard's share of the machine-wide nr_running; the shard's
+  // runqueues point here, so parallel package phases never contend on a
+  // global counter.
+  std::int64_t runnable = 0;
+};
+
 class SimulationState : public BalanceEnv {
  public:
   explicit SimulationState(const MachineConfig& config);
   ~SimulationState() override;
 
-  // Runqueues point at total_runnable_ and tasks live in the arena; the
-  // state is pinned in place for its lifetime.
+  // Runqueues point at their shard's runnable counter and tasks live in the
+  // arena; the state is pinned in place for its lifetime.
   SimulationState(const SimulationState&) = delete;
   SimulationState& operator=(const SimulationState&) = delete;
 
   // --- BalanceEnv -----------------------------------------------------------
   const CpuTopology& topology() const override { return config_.topology; }
   const DomainHierarchy& domains() const override { return domains_; }
-  Runqueue& runqueue(int cpu) override { return runqueues_[static_cast<std::size_t>(cpu)]; }
+  Runqueue& runqueue(int cpu) override { return *runqueue_by_cpu_[static_cast<std::size_t>(cpu)]; }
   const Runqueue& runqueue(int cpu) const override {
-    return runqueues_[static_cast<std::size_t>(cpu)];
+    return *runqueue_by_cpu_[static_cast<std::size_t>(cpu)];
   }
   double RunqueuePower(int cpu) const override;
   double ThermalPower(int cpu) const override;
   double MaxPower(int cpu) const override;
   bool MigrateTask(Task* task, int from, int to) override;
   std::int64_t migration_count() const override { return migration_count_; }
+  // Balance metrics only change between balance passes when the tick
+  // advances: every non-balance mutation (spawn, wake, execution, sampling,
+  // lifecycle) happens before BalancePhase within a tick, and migrations
+  // during the phase invalidate their two CPUs' aggregates explicitly. So
+  // the tick counter is the version, and every balance pass within one tick
+  // shares the aggregate cache.
+  std::uint64_t metrics_version() const override { return static_cast<std::uint64_t>(now_); }
 
   // --- workload -------------------------------------------------------------
 
@@ -101,11 +149,17 @@ class SimulationState : public BalanceEnv {
   TickEventQueue<PendingArrival>& arrival_queue() { return arrival_queue_; }
   const TickEventQueue<PendingArrival>& arrival_queue() const { return arrival_queue_; }
 
-  // Machine-wide nr_running, maintained incrementally by the runqueues. The
-  // skip-ahead planner's quiescence test: zero means no task is runnable or
-  // running anywhere, so ticks are pure idle physics until the next wake or
-  // arrival.
-  std::int64_t total_runnable() const { return total_runnable_; }
+  // Machine-wide nr_running: the sum of the per-shard counters the
+  // runqueues maintain incrementally. The skip-ahead planner's quiescence
+  // test: zero means no task is runnable or running anywhere, so ticks are
+  // pure idle physics until the next wake or arrival.
+  std::int64_t total_runnable() const {
+    std::int64_t total = 0;
+    for (const PackageShard& shard : shards_) {
+      total += shard.runnable;
+    }
+    return total;
+  }
 
   // --- derived quantities ---------------------------------------------------
   std::size_t num_cpus() const { return config_.topology.num_logical(); }
@@ -117,8 +171,10 @@ class SimulationState : public BalanceEnv {
   // hlt ThrottleGate and the frequency governors compare against the
   // package budget (one definition, so the two mechanisms cannot drift).
   double PackageThermalPower(std::size_t physical) const;
-  double Temperature(std::size_t physical) const { return thermal_[physical].temperature(); }
-  double TruePower(std::size_t physical) const { return last_true_power_[physical]; }
+  double Temperature(std::size_t physical) const {
+    return shards_[physical].thermal.temperature();
+  }
+  double TruePower(std::size_t physical) const { return shards_[physical].last_true_power; }
   double TotalWorkDone() const;
   std::int64_t TotalCompletions() const;
   double TotalTaskEnergy() const;
@@ -135,26 +191,33 @@ class SimulationState : public BalanceEnv {
   // have been integrated in bulk.
   void AdvanceTicks(Tick n) { now_ += n; }
 
-  CounterBlock& counters(int cpu) { return counters_[static_cast<std::size_t>(cpu)]; }
-  CpuPowerState& power_state(int cpu) { return power_states_[static_cast<std::size_t>(cpu)]; }
-  ThrottleController& throttle(int cpu) { return throttles_[static_cast<std::size_t>(cpu)]; }
+  CounterBlock& counters(int cpu) { return *counter_by_cpu_[static_cast<std::size_t>(cpu)]; }
+  CpuPowerState& power_state(int cpu) {
+    return *power_state_by_cpu_[static_cast<std::size_t>(cpu)];
+  }
+  ThrottleController& throttle(int cpu) {
+    return *throttle_by_cpu_[static_cast<std::size_t>(cpu)];
+  }
   const ThrottleController& throttle(int cpu) const {
-    return throttles_[static_cast<std::size_t>(cpu)];
+    return *throttle_by_cpu_[static_cast<std::size_t>(cpu)];
   }
   ThrottleController& package_throttle(std::size_t physical) {
-    return package_throttles_[physical];
+    return shards_[physical].package_throttle;
   }
   const ThrottleController& package_throttle(std::size_t physical) const {
-    return package_throttles_[physical];
+    return shards_[physical].package_throttle;
   }
-  RcThermalModel& thermal(std::size_t physical) { return thermal_[physical]; }
-  FrequencyDomain& freq_domain(std::size_t physical) { return freq_domains_[physical]; }
+  RcThermalModel& thermal(std::size_t physical) { return shards_[physical].thermal; }
+  FrequencyDomain& freq_domain(std::size_t physical) { return shards_[physical].freq_domain; }
   const FrequencyDomain& freq_domain(std::size_t physical) const {
-    return freq_domains_[physical];
+    return shards_[physical].freq_domain;
   }
   void set_true_power(std::size_t physical, double watts) {
-    last_true_power_[physical] = watts;
+    shards_[physical].last_true_power = watts;
   }
+
+  PackageShard& shard(std::size_t physical) { return shards_[physical]; }
+  const PackageShard& shard(std::size_t physical) const { return shards_[physical]; }
 
   const std::vector<Task*>& tasks() const { return tasks_; }
   Task* task(std::size_t i) { return tasks_[i]; }
@@ -172,15 +235,14 @@ class SimulationState : public BalanceEnv {
   DomainHierarchy domains_;
   Rng rng_;
 
-  std::vector<Runqueue> runqueues_;                    // per logical (contiguous)
-  std::vector<CounterBlock> counters_;                 // per logical
-  std::vector<CpuPowerState> power_states_;            // per logical
-  std::vector<ThrottleController> throttles_;          // per logical (stats)
-  std::vector<ThrottleController> package_throttles_;  // per physical (decision)
-  std::vector<RcThermalModel> thermal_;                // per physical
-  std::vector<FrequencyDomain> freq_domains_;          // per physical (DVFS)
-  std::vector<double> last_true_power_;                // per physical
-  std::vector<double> max_power_logical_;              // per logical
+  // One shard per physical package (reserved, never reallocated), plus flat
+  // per-logical pointer tables so the hot accessors stay O(1) loads.
+  std::vector<PackageShard> shards_;
+  std::vector<Runqueue*> runqueue_by_cpu_;            // per logical
+  std::vector<CounterBlock*> counter_by_cpu_;         // per logical
+  std::vector<CpuPowerState*> power_state_by_cpu_;    // per logical
+  std::vector<ThrottleController*> throttle_by_cpu_;  // per logical
+  std::vector<double> max_power_logical_;             // per logical (const after ctor)
 
   std::unique_ptr<EnergyEstimator> estimator_;
   BinaryRegistry registry_;
@@ -188,16 +250,17 @@ class SimulationState : public BalanceEnv {
 
   // Task storage: objects are placement-new'd into a monotonic arena (one
   // bump allocation per spawn, freed wholesale when the state dies) and the
-  // per-tick hot fields live in the struct-of-arrays columns. The destructor
-  // runs each task's destructor explicitly; the arena then releases the
-  // memory in one shot.
+  // per-tick hot fields live in the struct-of-arrays columns. The columns
+  // are shared across shards, but a row is only ever touched by the package
+  // whose runqueue currently holds the task, so parallel package phases
+  // write disjoint rows. The destructor runs each task's destructor
+  // explicitly; the arena then releases the memory in one shot.
   std::pmr::monotonic_buffer_resource task_arena_;
   TaskHotColumns hot_;
   std::vector<Task*> tasks_;
   TaskId next_task_id_ = 1;
   Tick now_ = 0;
   std::int64_t migration_count_ = 0;
-  std::int64_t total_runnable_ = 0;
 
   // (wake_tick, task_id)-keyed sleeper wakeups; task-id tie-break reproduces
   // the task-table scan order this queue replaced.

@@ -5,6 +5,17 @@
 namespace eas {
 namespace {
 
+// Default level names, innermost first; a topology of depth n takes the
+// first n and reverses them, so 3 levels read node:package:smt and 5 read
+// rack:board:node:package:smt.
+constexpr const char* kDefaultLevelNames[] = {"smt",   "package", "node",  "board",
+                                              "rack",  "row",     "hall",  "site"};
+constexpr std::size_t kMaxLevels = sizeof(kDefaultLevelNames) / sizeof(kDefaultLevelNames[0]);
+
+// No simulated machine needs more than a million logical CPUs; the cap also
+// keeps the width products far from overflow.
+constexpr std::size_t kMaxLogicalCpus = std::size_t{1} << 20;
+
 // Strict positive-integer parse: every character a digit, value >= 1. The
 // length cap keeps the value far from overflow (no machine has 1e9 nodes).
 bool ParsePositiveField(const std::string& text, std::size_t* out) {
@@ -25,20 +36,64 @@ bool ParsePositiveField(const std::string& text, std::size_t* out) {
   return true;
 }
 
+std::string DefaultLevelName(std::size_t level, std::size_t num_levels) {
+  assert(num_levels <= kMaxLevels && level < num_levels);
+  return kDefaultLevelNames[num_levels - 1 - level];
+}
+
 }  // namespace
 
 CpuTopology::CpuTopology(std::size_t num_nodes, std::size_t physical_per_node,
                          std::size_t smt_per_physical)
-    : num_nodes_(num_nodes),
-      physical_per_node_(physical_per_node),
-      smt_per_physical_(smt_per_physical) {
-  assert(num_nodes >= 1);
-  assert(physical_per_node >= 1);
-  assert(smt_per_physical >= 1);
+    : CpuTopology(std::vector<TopologyLevel>{{"node", num_nodes},
+                                             {"package", physical_per_node},
+                                             {"smt", smt_per_physical}}) {}
+
+CpuTopology::CpuTopology(std::vector<TopologyLevel> levels) : levels_(std::move(levels)) {
+  assert(levels_.size() >= 2);
+  assert(levels_.size() <= kMaxLevels);
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    assert(levels_[i].width >= 1);
+    if (levels_[i].name.empty()) {
+      levels_[i].name = DefaultLevelName(i, levels_.size());
+    }
+  }
+  Finalize();
+}
+
+void CpuTopology::Finalize() {
+  const std::size_t n = levels_.size();
+  smt_per_physical_ = levels_[n - 1].width;
+  num_physical_ = 1;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    num_physical_ *= levels_[i].width;
+  }
+  physical_per_node_ = levels_[n - 2].width;
+  num_nodes_ = num_physical_ / physical_per_node_;
+  // Suffix products over the package-bearing levels: packages per unit at
+  // level i is the product of widths strictly below i (SMT excluded).
+  packages_per_unit_.assign(n, 1);
+  for (std::size_t i = n - 1; i-- > 0;) {
+    packages_per_unit_[i] =
+        (i + 1 < n - 1) ? packages_per_unit_[i + 1] * levels_[i + 1].width : 1;
+  }
 }
 
 CpuTopology CpuTopology::PaperXSeries445(bool smt_enabled) {
   return CpuTopology(2, 4, smt_enabled ? 2 : 1);
+}
+
+std::size_t CpuTopology::UnitsAtLevel(std::size_t level) const {
+  assert(level < levels_.size());
+  if (level == levels_.size() - 1) {
+    return num_logical();
+  }
+  return num_physical_ / packages_per_unit_[level];
+}
+
+std::size_t CpuTopology::UnitOf(int logical, std::size_t level) const {
+  assert(level + 1 < levels_.size());
+  return PhysicalOf(logical) / packages_per_unit_[level];
 }
 
 std::size_t CpuTopology::PhysicalOf(int logical) const {
@@ -86,24 +141,63 @@ std::optional<CpuTopology> ParseTopologySpec(const std::string& spec, std::strin
     }
   }
   fields.push_back(field);
-  if (fields.size() != 3) {
+  if (fields.size() < 2) {
     if (error != nullptr) {
-      *error = "want nodes:physical-per-node:smt, got \"" + spec + "\"";
+      *error = "want at least two colon-separated level widths "
+               "(nodes:physical-per-node:smt, or deeper lists like 4:8:2:4:2), got \"" +
+               spec + "\"";
     }
     return std::nullopt;
   }
-  static constexpr const char* kFieldNames[3] = {"nodes", "physical-per-node", "smt"};
-  std::size_t values[3];
-  for (std::size_t i = 0; i < 3; ++i) {
-    if (!ParsePositiveField(fields[i], &values[i])) {
+  if (fields.size() > kMaxLevels) {
+    if (error != nullptr) {
+      *error = "topology \"" + spec + "\" has " + std::to_string(fields.size()) +
+               " levels; at most " + std::to_string(kMaxLevels) + " are supported";
+    }
+    return std::nullopt;
+  }
+  // The classic 3-level grid keeps its historical field names in errors;
+  // everything else reports by level name, token, and 1-based position.
+  static constexpr const char* kGridFieldNames[3] = {"nodes", "physical-per-node", "smt"};
+  std::vector<TopologyLevel> levels(fields.size());
+  std::size_t total_logical = 1;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    std::string token = fields[i];
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      levels[i].name = token.substr(0, eq);
+      token = token.substr(eq + 1);
+      if (levels[i].name.empty()) {
+        if (error != nullptr) {
+          *error = "level " + std::to_string(i + 1) + " token \"" + fields[i] +
+                   "\" has an empty level name";
+        }
+        return std::nullopt;
+      }
+    } else if (fields.size() == 3) {
+      levels[i].name = (i == 0) ? "node" : (i == 1) ? "package" : "smt";
+    }
+    if (!ParsePositiveField(token, &levels[i].width)) {
       if (error != nullptr) {
-        *error = std::string(kFieldNames[i]) + " field \"" + fields[i] +
-                 "\" is not a positive integer";
+        const std::string display =
+            fields.size() == 3 && eq == std::string::npos
+                ? std::string(kGridFieldNames[i])
+                : (levels[i].name.empty() ? DefaultLevelName(i, fields.size()) : levels[i].name);
+        *error = display + " field \"" + token + "\" (level " + std::to_string(i + 1) + " of \"" +
+                 spec + "\") is not a positive integer";
+      }
+      return std::nullopt;
+    }
+    total_logical *= levels[i].width;
+    if (total_logical > kMaxLogicalCpus) {
+      if (error != nullptr) {
+        *error = "topology \"" + spec + "\" describes more than " +
+                 std::to_string(kMaxLogicalCpus) + " logical CPUs";
       }
       return std::nullopt;
     }
   }
-  return CpuTopology(values[0], values[1], values[2]);
+  return CpuTopology(std::move(levels));
 }
 
 }  // namespace eas

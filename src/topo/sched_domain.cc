@@ -1,6 +1,7 @@
 #include "src/topo/sched_domain.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace eas {
 
@@ -22,8 +23,15 @@ const CpuGroup* SchedDomain::GroupOf(int cpu) const {
 }
 
 DomainHierarchy DomainHierarchy::Build(const CpuTopology& topology) {
+  const std::vector<TopologyLevel>& levels = topology.levels();
+  const std::size_t n = levels.size();
   DomainHierarchy hierarchy;
   int level = 0;
+
+  // `cover[v]` is the index of the domain subdividing child unit v's subtree
+  // (or -1 if the subtree is a single logical CPU wide). It starts indexed by
+  // physical package and coarsens one topology level per loop iteration.
+  std::vector<int> cover(topology.num_physical(), -1);
 
   // SMT level: one domain per physical package; one group per logical CPU.
   if (topology.smt_per_physical() > 1) {
@@ -35,69 +43,115 @@ DomainHierarchy DomainHierarchy::Build(const CpuTopology& topology) {
       for (std::size_t t = 0; t < topology.smt_per_physical(); ++t) {
         const int cpu = topology.LogicalId(phys, t);
         domain.cpus.push_back(cpu);
-        domain.groups.push_back(CpuGroup{{cpu}});
+        domain.groups.push_back(CpuGroup{{cpu}, -1});
       }
+      cover[phys] = static_cast<int>(hierarchy.domains_.size());
       hierarchy.domains_.push_back(std::move(domain));
     }
     ++level;
   }
 
-  // Node level: one domain per node; one group per physical package.
-  if (topology.physical_per_node() > 1 || topology.num_nodes() == 1) {
-    for (std::size_t node = 0; node < topology.num_nodes(); ++node) {
+  // One domain level per topology level, bottom-up: level i's units become
+  // the groups of a domain per parent unit at level i-1 (the whole machine
+  // for i == 0). Width-1 levels collapse away; their cover carries over.
+  bool created_above_smt = false;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const std::size_t fanout = levels[i].width;
+    if (fanout <= 1) {
+      continue;  // one child per parent: nothing to balance at this level
+    }
+    const std::size_t parent_units = i == 0 ? 1 : topology.UnitsAtLevel(i - 1);
+    const std::size_t packages_per_child = topology.PackagesPerUnit(i);
+    const int base_index = static_cast<int>(hierarchy.domains_.size());
+    for (std::size_t u = 0; u < parent_units; ++u) {
       SchedDomain domain;
       domain.level = level;
-      domain.name = "node" + std::to_string(node);
-      for (std::size_t p = 0; p < topology.physical_per_node(); ++p) {
-        const std::size_t phys = node * topology.physical_per_node() + p;
+      domain.name = i == 0 ? "top" : levels[i - 1].name + std::to_string(u);
+      if (i + 2 < n) {
+        domain.flags |= kDomainCrossesNode;  // groups node-or-coarser units
+      }
+      for (std::size_t c = 0; c < fanout; ++c) {
+        const std::size_t child = u * fanout + c;
         CpuGroup group;
-        for (std::size_t t = 0; t < topology.smt_per_physical(); ++t) {
-          const int cpu = topology.LogicalId(phys, t);
-          group.cpus.push_back(cpu);
-          domain.cpus.push_back(cpu);
+        group.child_domain = cover[child];
+        const std::size_t first_package = child * packages_per_child;
+        for (std::size_t p = first_package; p < first_package + packages_per_child; ++p) {
+          for (std::size_t t = 0; t < topology.smt_per_physical(); ++t) {
+            const int cpu = topology.LogicalId(p, t);
+            group.cpus.push_back(cpu);
+            domain.cpus.push_back(cpu);
+          }
         }
         domain.groups.push_back(std::move(group));
       }
       hierarchy.domains_.push_back(std::move(domain));
     }
+    created_above_smt = true;
     ++level;
+    cover.assign(parent_units, -1);
+    for (std::size_t u = 0; u < parent_units; ++u) {
+      cover[u] = base_index + static_cast<int>(u);
+    }
   }
 
-  // Top level: one domain spanning the system; one group per node.
-  if (topology.num_nodes() > 1) {
+  // Single-package machines still get one domain above SMT so every CPU has
+  // a (possibly trivial) balancing scope - the legacy "node0" of 1:1:s.
+  if (!created_above_smt) {
+    assert(topology.num_physical() == 1);
     SchedDomain domain;
     domain.level = level;
-    domain.flags = kDomainCrossesNode;
-    domain.name = "top";
-    for (std::size_t node = 0; node < topology.num_nodes(); ++node) {
-      CpuGroup group;
-      for (std::size_t p = 0; p < topology.physical_per_node(); ++p) {
-        const std::size_t phys = node * topology.physical_per_node() + p;
-        for (std::size_t t = 0; t < topology.smt_per_physical(); ++t) {
-          const int cpu = topology.LogicalId(phys, t);
-          group.cpus.push_back(cpu);
-          domain.cpus.push_back(cpu);
-        }
-      }
-      domain.groups.push_back(std::move(group));
+    domain.name = n >= 3 ? levels[n - 3].name + "0" : "top";
+    CpuGroup group;
+    group.child_domain = cover[0];
+    for (std::size_t t = 0; t < topology.smt_per_physical(); ++t) {
+      const int cpu = topology.LogicalId(0, t);
+      group.cpus.push_back(cpu);
+      domain.cpus.push_back(cpu);
     }
+    domain.groups.push_back(std::move(group));
     hierarchy.domains_.push_back(std::move(domain));
     ++level;
   }
 
   hierarchy.num_levels_ = static_cast<std::size_t>(level);
+  hierarchy.BuildStacks(topology.num_logical());
   return hierarchy;
+}
+
+void DomainHierarchy::BuildStacks(std::size_t num_cpus) {
+  stacks_.assign(num_cpus, {});
+  // domains_ is ordered by ascending level, so each CPU's stack comes out
+  // bottom-up without sorting.
+  for (const SchedDomain& domain : domains_) {
+    for (const CpuGroup& group : domain.groups) {
+      for (int cpu : group.cpus) {
+        stacks_[static_cast<std::size_t>(cpu)].push_back(DomainCursor{&domain, &group});
+      }
+    }
+  }
+}
+
+DomainHierarchy::DomainHierarchy(const DomainHierarchy& other)
+    : domains_(other.domains_), num_levels_(other.num_levels_) {
+  BuildStacks(other.stacks_.size());
+}
+
+DomainHierarchy& DomainHierarchy::operator=(const DomainHierarchy& other) {
+  if (this != &other) {
+    domains_ = other.domains_;
+    num_levels_ = other.num_levels_;
+    BuildStacks(other.stacks_.size());
+  }
+  return *this;
 }
 
 std::vector<const SchedDomain*> DomainHierarchy::DomainsFor(int cpu) const {
   std::vector<const SchedDomain*> result;
-  for (const auto& domain : domains_) {
-    if (domain.Contains(cpu)) {
-      result.push_back(&domain);
-    }
+  const std::vector<DomainCursor>& stack = stacks_[static_cast<std::size_t>(cpu)];
+  result.reserve(stack.size());
+  for (const DomainCursor& cursor : stack) {
+    result.push_back(cursor.domain);
   }
-  std::sort(result.begin(), result.end(),
-            [](const SchedDomain* a, const SchedDomain* b) { return a->level < b->level; });
   return result;
 }
 

@@ -1,12 +1,14 @@
 // Scheduler domains (paper Section 4.1, Figure 1; Linux sched-domains.txt).
 //
 // A scheduler domain spans a set of CPUs partitioned into CPU groups.
-// Domains stack hierarchically: the SMT level groups the logical CPUs of one
-// physical package, the node level groups the physical packages of one NUMA
-// node, the top level groups the nodes. Balancing resolves imbalances in the
-// lowest (cheapest) domain possible, and the SMT level carries a flag telling
-// the energy balancer to skip it (Section 4.7: siblings share the die, so
-// balancing energy between them is pointless).
+// Domains stack hierarchically, one domain level per topology level: the SMT
+// level groups the logical CPUs of one physical package, the package level
+// groups the packages of one node, and every level above groups the units of
+// the next topology level down (board, rack, ...). Balancing resolves
+// imbalances in the lowest (cheapest) domain possible; the SMT level carries
+// a flag telling the energy balancer to skip it (Section 4.7: siblings share
+// the die, so balancing energy between them is pointless), and every level
+// grouping node-or-coarser units carries the node-crossing cost flag.
 
 #ifndef SRC_TOPO_SCHED_DOMAIN_H_
 #define SRC_TOPO_SCHED_DOMAIN_H_
@@ -21,6 +23,11 @@ namespace eas {
 
 struct CpuGroup {
   std::vector<int> cpus;
+  // Index (into DomainHierarchy::domains()) of the domain that subdivides
+  // exactly this group's CPUs one level down, or -1 for a leaf group. The
+  // balance-aggregate cache rolls group metrics up these links instead of
+  // rescanning every runqueue.
+  int child_domain = -1;
 
   bool Contains(int cpu) const;
 };
@@ -45,21 +52,44 @@ struct SchedDomain {
   const CpuGroup* GroupOf(int cpu) const;
 };
 
-// The per-system domain hierarchy. DomainsFor(cpu) yields the stack of
-// domains containing a CPU, bottom-up, which is the traversal order of both
-// balancing algorithms (Figures 4 and 5).
+// One step of a CPU's domain stack: the domain plus the group within it that
+// contains the CPU, precomputed so a balance pass never linear-scans groups.
+struct DomainCursor {
+  const SchedDomain* domain = nullptr;
+  const CpuGroup* group = nullptr;
+};
+
+// The per-system domain hierarchy. StackFor(cpu) yields the stack of
+// (domain, own group) cursors containing a CPU, bottom-up, which is the
+// traversal order of both balancing algorithms (Figures 4 and 5).
 class DomainHierarchy {
  public:
   static DomainHierarchy Build(const CpuTopology& topology);
 
+  DomainHierarchy() = default;
+  // Copies rebuild the cursor stacks so they point into the new copy's
+  // domains; moves keep the heap buffers (and thus the pointers) alive.
+  DomainHierarchy(const DomainHierarchy& other);
+  DomainHierarchy& operator=(const DomainHierarchy& other);
+  DomainHierarchy(DomainHierarchy&&) = default;
+  DomainHierarchy& operator=(DomainHierarchy&&) = default;
+
   const std::vector<SchedDomain>& domains() const { return domains_; }
   std::size_t num_levels() const { return num_levels_; }
+
+  // Precomputed (domain, group) stack for `cpu`, ordered lowest level first.
+  const std::vector<DomainCursor>& StackFor(int cpu) const {
+    return stacks_[static_cast<std::size_t>(cpu)];
+  }
 
   // Domains containing `cpu`, ordered lowest level first.
   std::vector<const SchedDomain*> DomainsFor(int cpu) const;
 
  private:
+  void BuildStacks(std::size_t num_cpus);
+
   std::vector<SchedDomain> domains_;
+  std::vector<std::vector<DomainCursor>> stacks_;
   std::size_t num_levels_ = 0;
 };
 

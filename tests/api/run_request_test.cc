@@ -41,6 +41,7 @@ TEST(RunRequestParseTest, ParsesEveryKey) {
       "temp-limit = 38\n"
       "throttle = true\n"
       "skip-ahead = off\n"
+      "intra-threads = 4\n"
       "seed = 7\n"
       "runs = 3\n");
   EXPECT_EQ(request.name, "my-run");
@@ -53,6 +54,7 @@ TEST(RunRequestParseTest, ParsesEveryKey) {
   EXPECT_EQ(request.temp_limit, 38.0);
   EXPECT_EQ(request.throttle, true);
   EXPECT_EQ(request.skip_ahead, false);
+  EXPECT_EQ(request.intra_threads, 4u);
   EXPECT_EQ(request.seed, 7u);
   EXPECT_EQ(request.runs, 3u);
   EXPECT_FALSE(request.workload.has_value());
@@ -85,6 +87,10 @@ TEST(RunRequestParseTest, RejectsBadValuesNamingLineAndKey) {
   EXPECT_NE(ParseError("throttle = maybe\n").find("bad value for throttle"),
             std::string::npos);
   EXPECT_NE(ParseError("skip-ahead = bananas\n").find("bad value for skip-ahead"),
+            std::string::npos);
+  EXPECT_NE(ParseError("intra-threads = -1\n").find("bad value for intra-threads"),
+            std::string::npos);
+  EXPECT_NE(ParseError("intra-threads = 2.5\n").find("bad value for intra-threads"),
             std::string::npos);
   EXPECT_NE(ParseError("scenario = a\nmax-power = x\n").find("line 2"), std::string::npos);
 }
@@ -162,6 +168,7 @@ TEST(RunRequestFormatTest, FormatParseIsIdentity) {
   request.duration_s = 12.5;
   request.throttle = false;
   request.skip_ahead = false;
+  request.intra_threads = 2;
   request.seed = 11;
   request.runs = 4;
   const std::string text = FormatRunRequest(request);
@@ -240,6 +247,49 @@ TEST(RunRequestResolveTest, SkipAheadFlowsIntoTheMachineConfig) {
   const auto disabled = ResolveRunRequest(request, &error);
   ASSERT_TRUE(disabled.has_value()) << error;
   EXPECT_FALSE(disabled->specs[0].config.skip_ahead);
+}
+
+TEST(RunRequestResolveTest, IntraThreadsFlowsIntoTheMachineConfig) {
+  // Unset: the historical interleaved loop (0). Explicit: the sharded
+  // pipeline with that worker count, including over a scenario.
+  std::string error;
+  const auto defaulted = ResolveRunRequest(RunRequest{}, &error);
+  ASSERT_TRUE(defaulted.has_value()) << error;
+  EXPECT_EQ(defaulted->specs[0].config.intra_run_threads, 0u);
+
+  RunRequest request;
+  request.intra_threads = 3;
+  const auto sharded = ResolveRunRequest(request, &error);
+  ASSERT_TRUE(sharded.has_value()) << error;
+  EXPECT_EQ(sharded->specs[0].config.intra_run_threads, 3u);
+
+  RunRequest scenario = RunRequestForScenario("datacenter-consolidation");
+  scenario.intra_threads = 2;
+  const auto over_scenario = ResolveRunRequest(scenario, &error);
+  ASSERT_TRUE(over_scenario.has_value()) << error;
+  EXPECT_EQ(over_scenario->specs[0].config.intra_run_threads, 2u);
+}
+
+TEST(RunRequestResolveTest, DeepTopologyRoundTripsAndResolves) {
+  // A five-level spec through the full surface: parse, canonical format
+  // fixed point, resolve into the level-list topology.
+  const std::string text = "topology = 2:4:2:4:2; duration-s = 1";
+  const RunRequest request = ParseOk(text);
+  EXPECT_EQ(FormatRunRequest(ParseOk(FormatRunRequest(request))), FormatRunRequest(request));
+
+  std::string error;
+  const auto resolved = ResolveRunRequest(request, &error);
+  ASSERT_TRUE(resolved.has_value()) << error;
+  EXPECT_EQ(resolved->specs[0].config.topology.num_physical(), 64u);
+  EXPECT_EQ(resolved->specs[0].config.topology.num_logical(), 128u);
+
+  // Named levels round-trip too.
+  RunRequest named;
+  named.topology = "rack=2:node=2:package=2:smt=2";
+  const auto named_resolved = ResolveRunRequest(named, &error);
+  ASSERT_TRUE(named_resolved.has_value()) << error;
+  EXPECT_EQ(named_resolved->specs[0].config.topology.num_logical(), 16u);
+  EXPECT_EQ(ParseOk(FormatRunRequest(named)), named);
 }
 
 TEST(RunRequestResolveTest, PolicyAliasesNormalize) {

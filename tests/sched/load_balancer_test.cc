@@ -101,6 +101,70 @@ TEST(LoadBalancerTest, PickTaskPreferences) {
   EXPECT_NE(LoadBalancer::PickTask(rq, PullPreference::kAny), nullptr);
 }
 
+// --- degenerate topologies: the domain walk must survive every tree shape --
+
+TEST(LoadBalancerDegenerateTest, SingleCpuMachineBalancesToNothing) {
+  FakeEnv env(CpuTopology({{"package", 1}, {"smt", 1}}));
+  env.AddRunningTask(40.0, 0);
+  env.AddTask(40.0, 0);
+  LoadBalancer balancer;
+  EXPECT_EQ(balancer.Balance(0, env), 0);
+  EXPECT_EQ(env.migration_count(), 0);
+}
+
+TEST(LoadBalancerDegenerateTest, WidthOneInteriorLevelsCollapse) {
+  // Interior levels of width 1 add tree depth but no siblings; the walk
+  // must skip through them and still find the one real peer.
+  FakeEnv env(CpuTopology({{"rack", 1}, {"board", 1}, {"package", 2}, {"smt", 1}}));
+  env.AddRunningTask(40.0, 0);
+  env.AddTask(40.0, 0);
+  env.AddTask(40.0, 0);
+  env.AddTask(40.0, 0);
+  LoadBalancer balancer;
+  EXPECT_GE(balancer.Balance(1, env), 1);
+}
+
+TEST(LoadBalancerDegenerateTest, DeepNarrowTreePullsAcrossTheTopLevel) {
+  // 2x2x2 single-thread tree: cpu0 and cpu7 share only the root. The
+  // pull must descend the remote top-level group down to the busy leaf.
+  FakeEnv env(CpuTopology({{"rack", 2}, {"node", 2}, {"package", 2}, {"smt", 1}}));
+  env.AddRunningTask(40.0, 0);
+  for (int i = 0; i < 7; ++i) {
+    env.AddTask(40.0, 0);
+  }
+  LoadBalancer balancer;
+  EXPECT_GE(balancer.Balance(7, env), 1);
+  EXPECT_GE(env.migration_count(), 1);
+}
+
+TEST(LoadBalancerDegenerateTest, SmtOnlyMachineBalancesSiblings) {
+  // One package, two hyperthreads: the only domain is the SMT pair.
+  FakeEnv env(CpuTopology({{"package", 1}, {"smt", 2}}));
+  env.AddRunningTask(40.0, 0);
+  env.AddTask(40.0, 0);
+  env.AddTask(40.0, 0);
+  LoadBalancer balancer;
+  EXPECT_GE(balancer.Balance(1, env), 1);
+}
+
+TEST(LoadBalancerDegenerateTest, ManyTasksConvergeOnADeepTree) {
+  // The convergence property on a five-level tree: 32 tasks piled on one
+  // leaf spread to ~2 per CPU after a few whole-machine rounds.
+  FakeEnv env(CpuTopology({{"rack", 2}, {"board", 2}, {"node", 2}, {"package", 2}, {"smt", 1}}));
+  for (int i = 0; i < 32; ++i) {
+    env.AddTask(40.0, 0);
+  }
+  LoadBalancer balancer;
+  for (int round = 0; round < 12; ++round) {
+    for (int cpu = 0; cpu < 16; ++cpu) {
+      balancer.Balance(cpu, env);
+    }
+  }
+  for (int cpu = 0; cpu < 16; ++cpu) {
+    EXPECT_NEAR(static_cast<double>(env.runqueue(cpu).nr_running()), 2.0, 1.0) << "cpu" << cpu;
+  }
+}
+
 TEST(LoadBalancerTest, ManyTasksConvergeToEvenQueues) {
   FakeEnv env(CpuTopology(2, 4, 1));
   for (int i = 0; i < 24; ++i) {

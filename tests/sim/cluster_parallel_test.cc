@@ -1,0 +1,125 @@
+// The package-parallel tick pipeline's determinism contracts, at cluster
+// scale and on degenerate machines:
+//
+//  - worker-count independence: any intra_run_threads >= 1 produces the
+//    same bits, because package phases touch only their own shard and the
+//    cross-package phases (lifecycle, balance) run sequentially in a fixed
+//    order regardless of which worker ran which package;
+//  - skip-ahead composes: quiescent spans are mode-independent (the
+//    reduced kernels are sequential), so turning skip-ahead off under the
+//    sharded pipeline changes nothing;
+//  - interleaved/sharded agreement on respawn-free workloads: when no task
+//    ever completes, lifecycle cannot feed back across packages within a
+//    tick and the historical interleaved loop coincides bit-for-bit.
+//
+// Byte equality of the exported summary CSV is the assertion throughout -
+// the same artifact eastool consumers diff.
+
+#include <cstddef>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/api/run_request.h"
+#include "src/counters/energy_model.h"
+#include "src/sim/csv_export.h"
+#include "src/sim/experiment.h"
+#include "src/sim/scenario.h"
+
+namespace eas {
+namespace {
+
+// The 512-CPU five-level scenario, shortened: the tick pipeline at real
+// cluster width without the full 20k-tick duration.
+ExperimentSpec ClusterSpec(std::size_t intra_threads, bool skip_ahead) {
+  ExperimentSpec spec =
+      ScenarioRegistry::Global().BuildOrThrow("datacenter-consolidation").ToExperimentSpec();
+  spec.options.duration_ticks = 1'500;
+  spec.options.sample_interval_ticks = 500;
+  spec.config.estimator_weights = EnergyModel::Default().weights();
+  spec.config.intra_run_threads = intra_threads;
+  spec.config.skip_ahead = skip_ahead;
+  return spec;
+}
+
+std::string SummaryCsv(const ExperimentSpec& spec) {
+  Experiment experiment(spec.config, spec.options);
+  return RunSummaryToCsv(experiment.Run(spec.workload));
+}
+
+TEST(ClusterParallelTest, ShardedWorkerCountIndependence) {
+  const std::string one = SummaryCsv(ClusterSpec(1, /*skip_ahead=*/true));
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    EXPECT_EQ(one, SummaryCsv(ClusterSpec(workers, /*skip_ahead=*/true)))
+        << "intra_run_threads=" << workers;
+  }
+}
+
+TEST(ClusterParallelTest, ShardedSkipAheadBitIdentical) {
+  EXPECT_EQ(SummaryCsv(ClusterSpec(2, /*skip_ahead=*/true)),
+            SummaryCsv(ClusterSpec(2, /*skip_ahead=*/false)));
+}
+
+TEST(ClusterParallelTest, ShardedMatchesInterleavedWhenNoTaskCompletes) {
+  // The consolidation population never finishes a task, so per-package
+  // lifecycle cannot influence another package mid-tick - the precondition
+  // for the two modes to coincide. Assert it rather than assume it.
+  const ExperimentSpec spec = ClusterSpec(0, /*skip_ahead=*/true);
+  Experiment interleaved(spec.config, spec.options);
+  const RunResult result = interleaved.Run(spec.workload);
+  ASSERT_EQ(result.completions, 0);
+  EXPECT_EQ(RunSummaryToCsv(result), SummaryCsv(ClusterSpec(1, /*skip_ahead=*/true)));
+}
+
+// A lifecycle-heavy run (completions, respawns, sleeps) on a deep but
+// narrow tree, built through the request surface end to end: the sharded
+// pipeline must stay worker-count independent even when every tick runs
+// the sequential lifecycle phase.
+ExperimentSpec DeepNarrowSpec(std::size_t intra_threads) {
+  std::string error;
+  auto resolved = ResolveRunRequest(
+      *ParseRunRequest("topology = 2:2:2:2:2; workload = short:24; duration-s = 6; seed = 11; "
+                       "intra-threads = " + std::to_string(intra_threads),
+                       &error),
+      &error);
+  EXPECT_TRUE(resolved.has_value()) << error;
+  ExperimentSpec spec = resolved->specs.front();
+  spec.config.estimator_weights = EnergyModel::Default().weights();
+  return spec;
+}
+
+TEST(ClusterParallelTest, ShardedDeterministicUnderTaskLifecycle) {
+  const ExperimentSpec spec = DeepNarrowSpec(1);
+  Experiment experiment(spec.config, spec.options);
+  const RunResult result = experiment.Run(spec.workload);
+  ASSERT_GT(result.completions, 0) << "workload must exercise the lifecycle phase";
+  const std::string one = RunSummaryToCsv(result);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+    const ExperimentSpec more = DeepNarrowSpec(workers);
+    Experiment other(more.config, more.options);
+    EXPECT_EQ(one, RunSummaryToCsv(other.Run(more.workload)))
+        << "intra_run_threads=" << workers;
+  }
+}
+
+TEST(ClusterParallelTest, ShardedRunsOnSinglePackageMachine) {
+  // Degenerate width: one package, SMT only. The pool clamps to one worker
+  // and the pipeline must still run (and agree with itself at any count).
+  std::string error;
+  auto make = [&error](std::size_t workers) {
+    auto resolved = ResolveRunRequest(
+        *ParseRunRequest("topology = 1:1:2; workload = mixed:3; duration-s = 4; seed = 3; "
+                         "intra-threads = " + std::to_string(workers),
+                         &error),
+        &error);
+    EXPECT_TRUE(resolved.has_value()) << error;
+    ExperimentSpec spec = resolved->specs.front();
+    spec.config.estimator_weights = EnergyModel::Default().weights();
+    Experiment experiment(spec.config, spec.options);
+    return RunSummaryToCsv(experiment.Run(spec.workload));
+  };
+  EXPECT_EQ(make(1), make(8));
+}
+
+}  // namespace
+}  // namespace eas

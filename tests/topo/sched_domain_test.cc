@@ -94,5 +94,106 @@ TEST(SchedDomainTest, SingleNodeMachineHasOneLevel) {
   EXPECT_EQ(domains[0]->groups.size(), 4u);
 }
 
+TEST(SchedDomainTest, StackForMatchesDomainsFor) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(topo);
+  for (int cpu = 0; cpu < static_cast<int>(topo.num_logical()); ++cpu) {
+    const auto domains = hierarchy.DomainsFor(cpu);
+    const auto& stack = hierarchy.StackFor(cpu);
+    ASSERT_EQ(stack.size(), domains.size());
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      EXPECT_EQ(stack[i].domain, domains[i]);
+      EXPECT_EQ(stack[i].group, domains[i]->GroupOf(cpu));
+    }
+  }
+}
+
+TEST(SchedDomainTest, ChildDomainLinksDescendTheTree) {
+  const CpuTopology topo = CpuTopology::PaperXSeries445(true);
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(topo);
+  const auto& stack = hierarchy.StackFor(0);
+  ASSERT_EQ(stack.size(), 3u);
+  // SMT groups are leaves.
+  EXPECT_EQ(stack[0].group->child_domain, -1);
+  // The node-level group of CPU 0 descends into smt0.
+  const SchedDomain& smt0 = hierarchy.domains()[static_cast<std::size_t>(
+      stack[1].group->child_domain)];
+  EXPECT_EQ(smt0.name, "smt0");
+  // The top-level group of CPU 0 descends into node0.
+  const SchedDomain& node0 = hierarchy.domains()[static_cast<std::size_t>(
+      stack[2].group->child_domain)];
+  EXPECT_EQ(node0.name, "node0");
+  // A child domain spans exactly its parent group's CPUs.
+  EXPECT_EQ(node0.cpus, stack[2].group->cpus);
+}
+
+TEST(SchedDomainTest, DeepTreeOneDomainLevelPerTopologyLevel) {
+  std::string error;
+  const auto topo = ParseTopologySpec("2:2:2:2:2", &error);
+  ASSERT_TRUE(topo.has_value()) << error;
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(*topo);
+  // smt + package + node + board + rack(top) levels.
+  EXPECT_EQ(hierarchy.num_levels(), 5u);
+  const auto& stack = hierarchy.StackFor(0);
+  ASSERT_EQ(stack.size(), 5u);
+  EXPECT_EQ(stack[0].domain->name, "smt0");
+  EXPECT_EQ(stack[1].domain->name, "node0");
+  EXPECT_EQ(stack[2].domain->name, "board0");
+  EXPECT_EQ(stack[3].domain->name, "rack0");
+  EXPECT_EQ(stack[4].domain->name, "top");
+  // Node crossings start at the level grouping nodes, not the package level.
+  EXPECT_EQ(stack[1].domain->flags & kDomainCrossesNode, 0u);
+  EXPECT_NE(stack[2].domain->flags & kDomainCrossesNode, 0u);
+  EXPECT_NE(stack[4].domain->flags & kDomainCrossesNode, 0u);
+  // Every level is a binary fanout over the one below.
+  for (const DomainCursor& cursor : stack) {
+    EXPECT_EQ(cursor.domain->groups.size(), 2u);
+  }
+}
+
+TEST(SchedDomainTest, WidthOneLevelsCollapse) {
+  // 2 racks of 1 board of 4 packages: the board level balances nothing, so
+  // its group links skip straight from rack groups to package-level domains.
+  std::string error;
+  const auto topo = ParseTopologySpec("2:1:4:1", &error);
+  ASSERT_TRUE(topo.has_value()) << error;
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(*topo);
+  EXPECT_EQ(hierarchy.num_levels(), 2u);
+  const auto& stack = hierarchy.StackFor(0);
+  ASSERT_EQ(stack.size(), 2u);
+  EXPECT_EQ(stack[0].domain->groups.size(), 4u);  // packages within the board
+  EXPECT_EQ(stack[1].domain->name, "top");
+  ASSERT_EQ(stack[1].domain->groups.size(), 2u);
+  const SchedDomain& below = hierarchy.domains()[static_cast<std::size_t>(
+      stack[1].group->child_domain)];
+  EXPECT_EQ(&below, stack[0].domain);
+}
+
+TEST(SchedDomainTest, DeepButNarrowTreeDegenerates) {
+  std::string error;
+  const auto topo = ParseTopologySpec("1:1:1:1:8", &error);
+  ASSERT_TRUE(topo.has_value()) << error;
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(*topo);
+  // One SMT domain plus the fallback package-scope domain above it.
+  EXPECT_EQ(hierarchy.num_levels(), 2u);
+  const auto& stack = hierarchy.StackFor(0);
+  ASSERT_EQ(stack.size(), 2u);
+  EXPECT_NE(stack[0].domain->flags & kDomainNoEnergyBalance, 0u);
+  EXPECT_EQ(stack[0].domain->groups.size(), 8u);
+  EXPECT_EQ(stack[1].domain->groups.size(), 1u);
+  EXPECT_EQ(stack[1].group->child_domain, 0);
+}
+
+TEST(SchedDomainTest, SingleCpuMachine) {
+  const CpuTopology topo(1, 1, 1);
+  const DomainHierarchy hierarchy = DomainHierarchy::Build(topo);
+  EXPECT_EQ(hierarchy.num_levels(), 1u);
+  const auto& stack = hierarchy.StackFor(0);
+  ASSERT_EQ(stack.size(), 1u);
+  EXPECT_EQ(stack[0].domain->name, "node0");
+  EXPECT_EQ(stack[0].group->cpus.size(), 1u);
+  EXPECT_EQ(stack[0].group->child_domain, -1);
+}
+
 }  // namespace
 }  // namespace eas

@@ -22,6 +22,14 @@ environment variable - CI runners are noisy, calibrate there, not here):
                   global threshold and 1% - plus the DVFS-columns presence
                   rule (governed rows carry avg_frequency_cpu*, pure-hlt
                   "none" rows must not).
+  cluster_scale:  ticks/s per tick-pipeline row and balance passes/s per
+                  balance row at 1k CPUs, plus the worker-count bit-identity
+                  and sublinear-balance invariants.
+
+Row sets compare asymmetrically: a baseline row missing from the current run
+fails (a gated metric disappeared), while a current-run row absent from the
+baseline is warned and skipped - new rows gate only after the baseline is
+refreshed.
 
 Files are either one JSON document (tick_hot_path, sweep_scaling) or JSONL
 as the result sinks write it (governor_sweep: a header object with "bench",
@@ -88,6 +96,26 @@ class Gate:
                 f"{current} - align the bench flags or refresh the baseline"
             )
 
+    def rows(self, baseline_names, current_names):
+        """Row-set comparison, asymmetric on purpose: a row the baseline
+        gated that vanished from the current run is a failure (a metric
+        silently stopped being measured), but a row the current run added
+        that the baseline has never seen is only warned and skipped - a
+        bench growing a new row must not fail every checkout until the
+        baseline is refreshed."""
+        baseline_names = set(baseline_names)
+        current_names = set(current_names)
+        missing = sorted(baseline_names - current_names)
+        if missing:
+            self.failures.append(
+                f"rows missing from current run: {', '.join(missing)} - "
+                f"a gated metric is no longer measured"
+            )
+        for name in sorted(current_names - baseline_names):
+            self.lines.append(
+                f"  row '{name}': not in baseline; skipped (refresh the baseline to gate it)"
+            )
+
     def rate(self, name, baseline, current, threshold=None):
         """`threshold` overrides the gate-wide tolerance for this metric -
         deterministic metrics gate much tighter than wall-clock ones."""
@@ -119,16 +147,12 @@ def compare_tick_hot_path(baseline, current, gate):
     for field in ("ticks", "sparse_ticks", "threads", "build_type"):
         gate.config(field, baseline.get(field), current.get(field))
     base_rows = {row["name"]: row for row in baseline.get("populations", [])}
-    gate.config(
-        "rows",
-        sorted(base_rows),
-        sorted(row["name"] for row in current.get("populations", [])),
-    )
+    gate.rows(base_rows, [row["name"] for row in current.get("populations", [])])
     for row in current.get("populations", []):
         name = row["name"]
         base = base_rows.get(name)
         if base is None:
-            continue  # already failed via the rows config check
+            continue  # warned and skipped via the rows check
         gate.rate(
             f"engine_ticks_per_second[{name}]",
             base["engine_ticks_per_second"],
@@ -163,16 +187,12 @@ def compare_governor_sweep(baseline, current, gate):
     for field in ("scenario", "duration_ticks"):
         gate.config(field, baseline.get(field), current.get(field))
     base_rows = {row["name"]: row for row in baseline.get("runs", [])}
-    gate.config(
-        "rows",
-        sorted(base_rows),
-        sorted(row["name"] for row in current.get("runs", [])),
-    )
+    gate.rows(base_rows, [row["name"] for row in current.get("runs", [])])
     for row in current.get("runs", []):
         name = row["name"]
         base = base_rows.get(name)
         if base is None:
-            continue  # already failed via the rows config check
+            continue  # warned and skipped via the rows check
         gate.rate(f"throughput[{name}]", base["throughput"], row["throughput"], threshold)
         # The DVFS presence rule: governed rows carry the avg_frequency
         # columns, pure-hlt "none" rows must not grow them.
@@ -183,10 +203,43 @@ def compare_governor_sweep(baseline, current, gate):
         )
 
 
+def compare_cluster_scale(baseline, current, gate):
+    # Wall-clock ticks/s and balance passes/s, so the run shape must match.
+    # The pool_on speedup is a property of the measuring machine's core
+    # count, not of the code - it is informational here; what gates is each
+    # row's own throughput against the baseline plus the two invariants the
+    # bench asserts (worker-count bit-identity, sublinear balance scaling).
+    for field in ("ticks", "intra_threads", "balance_sweeps", "threads", "build_type"):
+        gate.config(field, baseline.get(field), current.get(field))
+    base_rows = {row["name"]: row for row in baseline.get("rows", [])}
+    gate.rows(base_rows, [row["name"] for row in current.get("rows", [])])
+    for row in current.get("rows", []):
+        name = row["name"]
+        base = base_rows.get(name)
+        if base is None:
+            continue  # warned and skipped via the rows check
+        if "ticks_per_second" in row:
+            gate.rate(
+                f"ticks_per_second[{name}]",
+                base.get("ticks_per_second", 0),
+                row["ticks_per_second"],
+            )
+            gate.invariant(f"bit-identical states[{name}]", row.get("identical", False))
+        elif "passes_per_second" in row:
+            gate.rate(
+                f"passes_per_second[{name}]",
+                base.get("passes_per_second", 0),
+                row["passes_per_second"],
+            )
+        elif name == "balance_scaling":
+            gate.invariant("balance per-pass cost sublinear", row.get("sublinear", False))
+
+
 COMPARATORS = {
     "tick_hot_path": compare_tick_hot_path,
     "sweep_scaling": compare_sweep_scaling,
     "governor_sweep": compare_governor_sweep,
+    "cluster_scale": compare_cluster_scale,
 }
 
 

@@ -41,7 +41,12 @@ void PrintUsage() {
       "usage: eastool [flags]\n"
       "  --list-scenarios    list registered scenarios and exit\n"
       "  --scenario NAME     run a registered scenario (flags below override it)\n"
-      "  --topology N:P:S    nodes : physical-per-node : smt (default 2:4:1)\n"
+      "  --topology SPEC     colon-separated level widths, outermost level first,\n"
+      "                      last level = SMT threads per package (default 2:4:1,\n"
+      "                      the classic nodes:physical-per-node:smt grid). Up to\n"
+      "                      8 levels build arbitrary-depth domain trees, e.g.\n"
+      "                      4:8:2:4:2; levels can be named: rack=2:board=4:\n"
+      "                      node=8:package=4:smt=2\n"
       "  --policy NAME       any BalancePolicyRegistry name (default energy_aware;\n"
       "                      aliases: baseline = load_only, eas = energy_aware,\n"
       "                      temp-only = temperature_only; '-' matches '_')\n"
@@ -60,6 +65,10 @@ void PrintUsage() {
       "  --no-skip-ahead     step quiescent spans tick by tick instead of\n"
       "                      skipping ahead (results are bit-identical; this\n"
       "                      is the A/B timing escape hatch)\n"
+      "  --intra-threads N   intra-run workers for the package-parallel tick\n"
+      "                      pipeline (default 0 = the historical interleaved\n"
+      "                      loop; any N >= 1 runs the sharded pipeline, whose\n"
+      "                      results are bit-identical for every N >= 1)\n"
       "  --request FILE      load a RunRequest file (key = value lines; flags\n"
       "                      above override its fields)\n"
       "  --batch FILE        run every request in FILE (one per line, 'key = v;\n"
@@ -84,7 +93,7 @@ constexpr const char* kKnownFlags[] = {
     "policy",     "workload",       "governor",       "duration-s",  "runs",
     "seed",       "request",        "batch",          "print-request", "threads",
     "trace-csv",  "summary-csv",    "jsonl",          "plot",        "max-power",
-    "temp-limit", "throttle",       "no-skip-ahead"};
+    "temp-limit", "throttle",       "no-skip-ahead",  "intra-threads"};
 
 // The flags that shape the request itself (as opposed to execution/output);
 // rejected with --batch, where the batch file is the single source of truth.
@@ -92,7 +101,7 @@ constexpr const char* kRequestFlags[] = {"scenario",   "topology",   "policy",
                                          "workload",   "governor",   "duration-s",
                                          "runs",       "seed",       "max-power",
                                          "temp-limit", "throttle",   "no-skip-ahead",
-                                         "request"};
+                                         "intra-threads", "request"};
 
 bool ReadFileToString(const std::string& path, std::string* out) {
   std::ifstream stream(path, std::ios::binary);
@@ -113,7 +122,8 @@ bool ReadFileToString(const std::string& path, std::string* out) {
 // value.
 bool ApplyFlagOverrides(const eas::FlagParser& flags, eas::RunRequest* request) {
   for (const char* key : {"scenario", "topology", "policy", "workload", "governor",
-                          "duration-s", "max-power", "temp-limit", "seed", "runs"}) {
+                          "duration-s", "max-power", "temp-limit", "intra-threads",
+                          "seed", "runs"}) {
     if (!flags.Has(key)) {
       continue;
     }
