@@ -145,7 +145,7 @@ void JsonlSink::EnsureOpen() {
   }
 }
 
-void JsonlSink::Begin(std::size_t total_records) { EnsureOpen(); }
+void JsonlSink::Begin(std::size_t /*total_records*/) { EnsureOpen(); }
 
 void JsonlSink::AppendLine(const std::string& json_object) {
   EnsureOpen();
@@ -202,7 +202,9 @@ void AsciiPlotSink::Consume(const RunRecord& record) {
     options.use_marker = true;
   }
   if (options.y_label.empty()) {
-    options.y_label = "W";
+    // std::string(...) rather than a char* assignment: gcc 12's -Wrestrict
+    // misfires on the in-place assign after the copy above.
+    options.y_label = std::string("W");
   }
   std::fprintf(out_, "-- %s (seed %llu) per-CPU thermal power --\n", record.spec.name.c_str(),
                static_cast<unsigned long long>(record.seed()));

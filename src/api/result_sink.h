@@ -38,7 +38,7 @@ class ResultSink {
 
   // Called once before the first record with the number of records the
   // session will emit (sum of every request's runs).
-  virtual void Begin(std::size_t total_records) {}
+  virtual void Begin(std::size_t /*total_records*/) {}
 
   // Called once per record, in record order.
   virtual void Consume(const RunRecord& record) = 0;

@@ -1,0 +1,42 @@
+// Shard-confinement annotations, enforced by tools/easlint.
+//
+// The cluster-scale contract (see SimulationState's header comment and
+// ARCHITECTURE.md "Cluster scale"): during the engine's package phase loop a
+// package's phases read and write only their own PackageShard, so the loop
+// parallelizes across packages with no cross-shard writes. That ownership
+// rule used to live in comments and the TSan CI leg; these macros make it
+// machine-checkable.
+//
+//   EAS_SHARD_LOCAL   The function runs inside the package-parallel region
+//                     (or is a per-CPU/per-package accessor reached from it)
+//                     and may only touch the one shard it is handed. It must
+//                     never reach an EAS_CROSS_SHARD function, directly or
+//                     transitively.
+//   EAS_CROSS_SHARD   The function reads or writes state owned by more than
+//                     one package (the shared RNG stream, the wake/arrival
+//                     queues, the binary registry, whole-machine scans, the
+//                     clock). It may only run in the sequential sections of
+//                     a tick.
+//
+// The macros expand to nothing: they are structured markers for easlint's
+// shard-confinement pass (`tools/easlint/easlint.py`, rule
+// `shard-confinement`), which builds a call graph over src/ and reports any
+// path from a shard-local function to a cross-shard one. Annotate
+// declarations (headers), immediately before the return type:
+//
+//   EAS_SHARD_LOCAL void SwitchInPackage(SimulationState& state, std::size_t physical) const;
+//   EAS_CROSS_SHARD Task* Spawn(const Program& program, int nice);
+//
+// Adding a new per-package phase? Mark its entry point EAS_SHARD_LOCAL and
+// run the linter; it will name the offending call chain if the phase touches
+// sequential-only state. Suppressions follow the linter's general form
+// (`// easlint: allow(shard-confinement) -- why`), and every suppression
+// needs a written justification.
+
+#ifndef SRC_BASE_ANNOTATIONS_H_
+#define SRC_BASE_ANNOTATIONS_H_
+
+#define EAS_SHARD_LOCAL
+#define EAS_CROSS_SHARD
+
+#endif  // SRC_BASE_ANNOTATIONS_H_

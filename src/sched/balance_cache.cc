@@ -18,37 +18,53 @@ void BalanceAggregateCache::BeginPass(const BalanceEnv& env) {
 void BalanceAggregateCache::InvalidateCpus(const BalanceEnv& env, int from, int to) {
   for (int cpu : {from, to}) {
     for (const DomainCursor& cursor : env.domains().StackFor(cpu)) {
-      entries_.erase(cursor.group);
+      if (Entry* entry = EntryFor(*cursor.group)) {
+        entry->rq_epoch = 0;
+        entry->thermal_epoch = 0;
+        entry->load_epoch = 0;
+      }
     }
   }
 }
 
+BalanceAggregateCache::Entry* BalanceAggregateCache::EntryFor(const CpuGroup& group) {
+  if (group.index < 0) {
+    return nullptr;
+  }
+  const std::size_t index = static_cast<std::size_t>(group.index);
+  if (index >= entries_.size()) {
+    // Fresh Entry slots carry epoch 0, which never matches epoch_ (it
+    // starts at 1 and only grows), so grown slots read as stale.
+    entries_.resize(index + 1);
+  }
+  return &entries_[index];
+}
+
 double BalanceAggregateCache::RqSum(const CpuGroup& group, const BalanceEnv& env) {
-  auto it = entries_.find(&group);
-  if (it != entries_.end() && it->second.rq_epoch == epoch_) {
-    return it->second.rq_sum;
+  if (const Entry* entry = EntryFor(group); entry != nullptr && entry->rq_epoch == epoch_) {
+    return entry->rq_sum;
   }
   double sum = 0.0;
   if (deep_rollups_ && group.child_domain >= 0) {
     const SchedDomain& child = env.domains().domains()[static_cast<std::size_t>(group.child_domain)];
     for (const CpuGroup& sub : child.groups) {
-      sum += RqSum(sub, env);  // may rehash entries_; no references held
+      sum += RqSum(sub, env);  // may grow entries_; no references held
     }
   } else {
     for (int cpu : group.cpus) {
       sum += env.RunqueuePowerRatio(cpu);
     }
   }
-  Entry& entry = entries_[&group];
-  entry.rq_sum = sum;
-  entry.rq_epoch = epoch_;
+  if (Entry* entry = EntryFor(group)) {
+    entry->rq_sum = sum;
+    entry->rq_epoch = epoch_;
+  }
   return sum;
 }
 
 double BalanceAggregateCache::ThermalSum(const CpuGroup& group, const BalanceEnv& env) {
-  auto it = entries_.find(&group);
-  if (it != entries_.end() && it->second.thermal_epoch == epoch_) {
-    return it->second.thermal_sum;
+  if (const Entry* entry = EntryFor(group); entry != nullptr && entry->thermal_epoch == epoch_) {
+    return entry->thermal_sum;
   }
   double sum = 0.0;
   if (deep_rollups_ && group.child_domain >= 0) {
@@ -61,16 +77,16 @@ double BalanceAggregateCache::ThermalSum(const CpuGroup& group, const BalanceEnv
       sum += env.ThermalPowerRatio(cpu);
     }
   }
-  Entry& entry = entries_[&group];
-  entry.thermal_sum = sum;
-  entry.thermal_epoch = epoch_;
+  if (Entry* entry = EntryFor(group)) {
+    entry->thermal_sum = sum;
+    entry->thermal_epoch = epoch_;
+  }
   return sum;
 }
 
 std::size_t BalanceAggregateCache::LoadTotal(const CpuGroup& group, const BalanceEnv& env) {
-  auto it = entries_.find(&group);
-  if (it != entries_.end() && it->second.load_epoch == epoch_) {
-    return it->second.load_total;
+  if (const Entry* entry = EntryFor(group); entry != nullptr && entry->load_epoch == epoch_) {
+    return entry->load_total;
   }
   std::size_t total = 0;
   // Integer addition is associative, so the rollup is exact at any depth and
@@ -85,9 +101,10 @@ std::size_t BalanceAggregateCache::LoadTotal(const CpuGroup& group, const Balanc
       total += env.runqueue(cpu).nr_running();
     }
   }
-  Entry& entry = entries_[&group];
-  entry.load_total = total;
-  entry.load_epoch = epoch_;
+  if (Entry* entry = EntryFor(group)) {
+    entry->load_total = total;
+    entry->load_epoch = epoch_;
+  }
   return total;
 }
 

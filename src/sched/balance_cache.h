@@ -28,7 +28,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "src/topo/sched_domain.h"
 
@@ -50,10 +50,11 @@ class BalanceAggregateCache {
   // unknown).
   void Invalidate() { ++epoch_; has_version_ = false; }
 
-  // Drops the group entries on `from`'s and `to`'s domain paths - the only
-  // aggregates a migration between the two can change. Metrics of every
-  // other CPU are untouched by a migration, so the surviving entries still
-  // equal a fresh recompute bit for bit.
+  // Drops the group entries on `from`'s and `to`'s domain paths (their
+  // epochs reset, so the slots read as stale) - the only aggregates a
+  // migration between the two can change. Metrics of every other CPU are
+  // untouched by a migration, so the surviving entries still equal a fresh
+  // recompute bit for bit.
   void InvalidateCpus(const BalanceEnv& env, int from, int to);
 
   // Average RunqueuePowerRatio over `group`'s CPUs (0 for an empty group).
@@ -80,9 +81,17 @@ class BalanceAggregateCache {
   double ThermalSum(const CpuGroup& group, const BalanceEnv& env);
   std::size_t LoadTotal(const CpuGroup& group, const BalanceEnv& env);
 
-  // Groups live in the env's DomainHierarchy, which outlives any pass, so
-  // the group address is a stable key.
-  std::unordered_map<const CpuGroup*, Entry> entries_;
+  // Cache slot for `group`, or nullptr for a group without a hierarchy
+  // index (hand-built in tests) - those compute uncached. Grows the table
+  // on demand, so callers must not hold entry references across calls.
+  Entry* EntryFor(const CpuGroup& group);
+
+  // Keyed by CpuGroup::index - the dense, run-stable group identity
+  // DomainHierarchy::Build assigns. (This table was once keyed by the
+  // group's address; easlint's determinism-pointer-key rule exists because
+  // one ordered walk over such a map would have tied results to malloc
+  // addresses.)
+  std::vector<Entry> entries_;
   std::uint64_t epoch_ = 1;
   std::uint64_t last_version_ = 0;
   bool has_version_ = false;

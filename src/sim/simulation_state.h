@@ -32,6 +32,7 @@
 #include <memory_resource>
 #include <vector>
 
+#include "src/base/annotations.h"
 #include "src/core/initial_placement.h"
 #include "src/core/power_metrics.h"
 #include "src/counters/counter_block.h"
@@ -86,14 +87,16 @@ class SimulationState : public BalanceEnv {
   // --- BalanceEnv -----------------------------------------------------------
   const CpuTopology& topology() const override { return config_.topology; }
   const DomainHierarchy& domains() const override { return domains_; }
-  Runqueue& runqueue(int cpu) override { return *runqueue_by_cpu_[static_cast<std::size_t>(cpu)]; }
-  const Runqueue& runqueue(int cpu) const override {
+  EAS_SHARD_LOCAL Runqueue& runqueue(int cpu) override {
     return *runqueue_by_cpu_[static_cast<std::size_t>(cpu)];
   }
-  double RunqueuePower(int cpu) const override;
-  double ThermalPower(int cpu) const override;
-  double MaxPower(int cpu) const override;
-  bool MigrateTask(Task* task, int from, int to) override;
+  EAS_SHARD_LOCAL const Runqueue& runqueue(int cpu) const override {
+    return *runqueue_by_cpu_[static_cast<std::size_t>(cpu)];
+  }
+  EAS_SHARD_LOCAL double RunqueuePower(int cpu) const override;
+  EAS_SHARD_LOCAL double ThermalPower(int cpu) const override;
+  EAS_SHARD_LOCAL double MaxPower(int cpu) const override;
+  EAS_CROSS_SHARD bool MigrateTask(Task* task, int from, int to) override;
   std::int64_t migration_count() const override { return migration_count_; }
   // Balance metrics only change between balance passes when the tick
   // advances: every non-balance mutation (spawn, wake, execution, sampling,
@@ -107,19 +110,19 @@ class SimulationState : public BalanceEnv {
 
   // Creates a task running `program` and places it (energy-aware placement
   // if enabled, least-loaded otherwise).
-  Task* Spawn(const Program& program, int nice);
+  EAS_CROSS_SHARD Task* Spawn(const Program& program, int nice);
 
   // Placement for a (re)spawned task per the configured policy: energy-aware
   // placement seeds the profile from the binary registry; the baseline picks
   // the least loaded CPU with random tie-break and leaves the profile alone.
-  int PlaceTask(Task& task);
+  EAS_CROSS_SHARD int PlaceTask(Task& task);
 
   // Ends the current accounting period of `task` and feeds the binary
   // registry on the task's first committed period.
-  void CommitPeriod(Task& task);
+  EAS_CROSS_SHARD void CommitPeriod(Task& task);
 
   // If `cpu` has no current task, switches in the next queued one.
-  void SwitchInIfIdle(int cpu);
+  EAS_SHARD_LOCAL void SwitchInIfIdle(int cpu);
 
   // --- event queues (the tick hot path) -------------------------------------
   //
@@ -130,30 +133,32 @@ class SimulationState : public BalanceEnv {
   // Puts `task` (already detached from its runqueue) to sleep for `duration`
   // ticks and schedules its wakeup. The wake queue is the only wake
   // mechanism: a task made kSleeping without going through here never wakes.
-  void StartSleep(Task& task, Tick duration);
+  EAS_CROSS_SHARD void StartSleep(Task& task, Tick duration);
 
   // Schedules `program` to be spawned with `nice` at the start of `tick`
   // (before that tick's wakeups). Insertion order breaks ties.
-  void ScheduleArrival(const Program& program, int nice, Tick tick);
+  EAS_CROSS_SHARD void ScheduleArrival(const Program& program, int nice, Tick tick);
 
   // Drops arrivals that have not fired yet (end of an experiment run: a
   // leftover arrival must not leak into a later run on the same machine).
-  void ClearPendingArrivals();
+  EAS_CROSS_SHARD void ClearPendingArrivals();
 
   struct PendingArrival {
     const Program* program = nullptr;
     int nice = 0;
   };
-  TickEventQueue<Task*>& wake_queue() { return wake_queue_; }
-  const TickEventQueue<Task*>& wake_queue() const { return wake_queue_; }
-  TickEventQueue<PendingArrival>& arrival_queue() { return arrival_queue_; }
-  const TickEventQueue<PendingArrival>& arrival_queue() const { return arrival_queue_; }
+  EAS_CROSS_SHARD TickEventQueue<Task*>& wake_queue() { return wake_queue_; }
+  EAS_CROSS_SHARD const TickEventQueue<Task*>& wake_queue() const { return wake_queue_; }
+  EAS_CROSS_SHARD TickEventQueue<PendingArrival>& arrival_queue() { return arrival_queue_; }
+  EAS_CROSS_SHARD const TickEventQueue<PendingArrival>& arrival_queue() const {
+    return arrival_queue_;
+  }
 
   // Machine-wide nr_running: the sum of the per-shard counters the
   // runqueues maintain incrementally. The skip-ahead planner's quiescence
   // test: zero means no task is runnable or running anywhere, so ticks are
   // pure idle physics until the next wake or arrival.
-  std::int64_t total_runnable() const {
+  EAS_CROSS_SHARD std::int64_t total_runnable() const {
     std::int64_t total = 0;
     for (const PackageShard& shard : shards_) {
       total += shard.runnable;
@@ -165,65 +170,78 @@ class SimulationState : public BalanceEnv {
   std::size_t num_cpus() const { return config_.topology.num_logical(); }
   std::size_t num_physical() const { return config_.topology.num_physical(); }
   double IdlePowerPerLogical() const;
-  double MaxPowerPhysical(std::size_t physical) const;
+  EAS_SHARD_LOCAL double MaxPowerPhysical(std::size_t physical) const;
 
   // Sum of the sibling thermal powers of a package - the quantity both the
   // hlt ThrottleGate and the frequency governors compare against the
   // package budget (one definition, so the two mechanisms cannot drift).
-  double PackageThermalPower(std::size_t physical) const;
-  double Temperature(std::size_t physical) const {
+  EAS_SHARD_LOCAL double PackageThermalPower(std::size_t physical) const;
+  EAS_SHARD_LOCAL double Temperature(std::size_t physical) const {
     return shards_[physical].thermal.temperature();
   }
-  double TruePower(std::size_t physical) const { return shards_[physical].last_true_power; }
-  double TotalWorkDone() const;
-  std::int64_t TotalCompletions() const;
-  double TotalTaskEnergy() const;
+  EAS_SHARD_LOCAL double TruePower(std::size_t physical) const {
+    return shards_[physical].last_true_power;
+  }
+  EAS_CROSS_SHARD double TotalWorkDone() const;
+  EAS_CROSS_SHARD std::int64_t TotalCompletions() const;
+  EAS_CROSS_SHARD double TotalTaskEnergy() const;
 
   // Logical CPU a task occupies, or kInvalidCpu if sleeping/finished.
   static int TaskCpu(const Task& task);
 
   // --- raw state (the phase components work on these) -----------------------
   const MachineConfig& config() const { return config_; }
-  Rng& rng() { return rng_; }
+  // The engine's sequential sections own the clock and the shared RNG
+  // stream: one draw from a parallel phase would make the stream's order
+  // depend on worker interleaving.
+  EAS_CROSS_SHARD Rng& rng() { return rng_; }
   Tick now() const { return now_; }
-  void AdvanceTick() { ++now_; }
+  EAS_CROSS_SHARD void AdvanceTick() { ++now_; }
   // Clock jump for the skip-ahead fast path, after the span's state updates
   // have been integrated in bulk.
-  void AdvanceTicks(Tick n) { now_ += n; }
+  EAS_CROSS_SHARD void AdvanceTicks(Tick n) { now_ += n; }
 
-  CounterBlock& counters(int cpu) { return *counter_by_cpu_[static_cast<std::size_t>(cpu)]; }
-  CpuPowerState& power_state(int cpu) {
+  EAS_SHARD_LOCAL CounterBlock& counters(int cpu) {
+    return *counter_by_cpu_[static_cast<std::size_t>(cpu)];
+  }
+  EAS_SHARD_LOCAL CpuPowerState& power_state(int cpu) {
     return *power_state_by_cpu_[static_cast<std::size_t>(cpu)];
   }
-  ThrottleController& throttle(int cpu) {
+  EAS_SHARD_LOCAL ThrottleController& throttle(int cpu) {
     return *throttle_by_cpu_[static_cast<std::size_t>(cpu)];
   }
-  const ThrottleController& throttle(int cpu) const {
+  EAS_SHARD_LOCAL const ThrottleController& throttle(int cpu) const {
     return *throttle_by_cpu_[static_cast<std::size_t>(cpu)];
   }
-  ThrottleController& package_throttle(std::size_t physical) {
+  EAS_SHARD_LOCAL ThrottleController& package_throttle(std::size_t physical) {
     return shards_[physical].package_throttle;
   }
-  const ThrottleController& package_throttle(std::size_t physical) const {
+  EAS_SHARD_LOCAL const ThrottleController& package_throttle(std::size_t physical) const {
     return shards_[physical].package_throttle;
   }
-  RcThermalModel& thermal(std::size_t physical) { return shards_[physical].thermal; }
-  FrequencyDomain& freq_domain(std::size_t physical) { return shards_[physical].freq_domain; }
-  const FrequencyDomain& freq_domain(std::size_t physical) const {
+  EAS_SHARD_LOCAL RcThermalModel& thermal(std::size_t physical) {
+    return shards_[physical].thermal;
+  }
+  EAS_SHARD_LOCAL FrequencyDomain& freq_domain(std::size_t physical) {
     return shards_[physical].freq_domain;
   }
-  void set_true_power(std::size_t physical, double watts) {
+  EAS_SHARD_LOCAL const FrequencyDomain& freq_domain(std::size_t physical) const {
+    return shards_[physical].freq_domain;
+  }
+  EAS_SHARD_LOCAL void set_true_power(std::size_t physical, double watts) {
     shards_[physical].last_true_power = watts;
   }
 
-  PackageShard& shard(std::size_t physical) { return shards_[physical]; }
-  const PackageShard& shard(std::size_t physical) const { return shards_[physical]; }
+  EAS_SHARD_LOCAL PackageShard& shard(std::size_t physical) { return shards_[physical]; }
+  EAS_SHARD_LOCAL const PackageShard& shard(std::size_t physical) const {
+    return shards_[physical];
+  }
 
   const std::vector<Task*>& tasks() const { return tasks_; }
   Task* task(std::size_t i) { return tasks_[i]; }
 
-  const BinaryRegistry& binary_registry() const { return registry_; }
-  BinaryRegistry& binary_registry() { return registry_; }
+  EAS_CROSS_SHARD const BinaryRegistry& binary_registry() const { return registry_; }
+  EAS_CROSS_SHARD BinaryRegistry& binary_registry() { return registry_; }
   const EnergyEstimator& estimator() const { return *estimator_; }
 
  private:

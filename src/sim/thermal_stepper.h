@@ -6,6 +6,7 @@
 
 #include <cstddef>
 
+#include "src/base/annotations.h"
 #include "src/sim/simulation_state.h"
 
 namespace eas {
@@ -15,8 +16,8 @@ class ThermalStepper {
   // Computes the true electrical power of `physical` from the number of
   // active siblings and the tick's true dynamic energy, records it, and
   // advances the package's RC model by one tick.
-  void StepPackage(SimulationState& state, std::size_t physical, std::size_t active_count,
-                   double true_dynamic) const;
+  EAS_SHARD_LOCAL void StepPackage(SimulationState& state, std::size_t physical,
+                                   std::size_t active_count, double true_dynamic) const;
 };
 
 }  // namespace eas

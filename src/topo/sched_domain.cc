@@ -114,6 +114,13 @@ DomainHierarchy DomainHierarchy::Build(const CpuTopology& topology) {
   }
 
   hierarchy.num_levels_ = static_cast<std::size_t>(level);
+  int next_group = 0;
+  for (SchedDomain& domain : hierarchy.domains_) {
+    for (CpuGroup& group : domain.groups) {
+      group.index = next_group++;
+    }
+  }
+  hierarchy.num_groups_ = static_cast<std::size_t>(next_group);
   hierarchy.BuildStacks(topology.num_logical());
   return hierarchy;
 }
@@ -132,7 +139,9 @@ void DomainHierarchy::BuildStacks(std::size_t num_cpus) {
 }
 
 DomainHierarchy::DomainHierarchy(const DomainHierarchy& other)
-    : domains_(other.domains_), num_levels_(other.num_levels_) {
+    : domains_(other.domains_),
+      num_levels_(other.num_levels_),
+      num_groups_(other.num_groups_) {
   BuildStacks(other.stacks_.size());
 }
 
@@ -140,6 +149,7 @@ DomainHierarchy& DomainHierarchy::operator=(const DomainHierarchy& other) {
   if (this != &other) {
     domains_ = other.domains_;
     num_levels_ = other.num_levels_;
+    num_groups_ = other.num_groups_;
     BuildStacks(other.stacks_.size());
   }
   return *this;

@@ -28,6 +28,12 @@ struct CpuGroup {
   // balance-aggregate cache rolls group metrics up these links instead of
   // rescanning every runqueue.
   int child_domain = -1;
+  // Dense hierarchy-wide group index, assigned by DomainHierarchy::Build in
+  // domain order ([0, num_groups())). The stable identity for keying
+  // per-group side tables (the balance-aggregate cache): unlike the group's
+  // address it is identical across runs and hierarchy copies. -1 on groups
+  // built by hand outside a hierarchy.
+  int index = -1;
 
   bool Contains(int cpu) const;
 };
@@ -76,6 +82,8 @@ class DomainHierarchy {
 
   const std::vector<SchedDomain>& domains() const { return domains_; }
   std::size_t num_levels() const { return num_levels_; }
+  // Total CPU groups across all domains; every group's `index` is below this.
+  std::size_t num_groups() const { return num_groups_; }
 
   // Precomputed (domain, group) stack for `cpu`, ordered lowest level first.
   const std::vector<DomainCursor>& StackFor(int cpu) const {
@@ -91,6 +99,7 @@ class DomainHierarchy {
   std::vector<SchedDomain> domains_;
   std::vector<std::vector<DomainCursor>> stacks_;
   std::size_t num_levels_ = 0;
+  std::size_t num_groups_ = 0;
 };
 
 }  // namespace eas

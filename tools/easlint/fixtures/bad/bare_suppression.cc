@@ -1,0 +1,23 @@
+// Known-bad fixture: suppressions without written justification, and an
+// allow() naming an unknown rule. The original findings are silenced (that
+// part of the mechanism works) but each bare allow() is itself reported.
+#include <unordered_map>
+
+namespace eas {
+
+struct Cache {
+  // easlint: allow(determinism-pointer-key)
+  std::unordered_map<const int*, int> entries;  // expect-silenced: determinism-pointer-key
+};
+// The bare allow() above:  expect: suppression-justification
+
+int Drain(Cache& cache) {
+  int total = 0;
+  for (const auto& entry : cache.entries) {  // easlint: allow(determinism-unordered-iter, no-such-rule) -- sum is commutative
+    total += entry.second;
+  }
+  return total;
+}
+// The unknown rule name in the allow() above:  expect: suppression-justification
+
+}  // namespace eas

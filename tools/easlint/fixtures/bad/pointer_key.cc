@@ -1,0 +1,19 @@
+// Known-bad fixture: associative containers keyed by pointer. The seed case
+// was BalanceAggregateCache keying group aggregates by `const CpuGroup*` -
+// lookup-only at the time, but one range-for away from address-ordered
+// nondeterminism.
+#include <map>
+#include <unordered_map>
+
+namespace eas {
+
+struct CpuGroup {
+  int first_cpu;
+};
+
+struct GroupAggregates {
+  std::unordered_map<const CpuGroup*, double> rq_sums;  // expect: determinism-pointer-key
+  std::map<CpuGroup*, double> thermal_sums;  // expect: determinism-pointer-key
+};
+
+}  // namespace eas

@@ -1,0 +1,14 @@
+// Known-bad fixture: libc randomness and std::random_device.
+#include <cstdlib>
+#include <random>
+
+namespace eas {
+
+int JitterTicks() {
+  srand(42);  // expect: determinism-raw-rand
+  int jitter = rand() % 8;  // expect: determinism-raw-rand
+  std::random_device device;  // expect: determinism-raw-rand
+  return jitter + static_cast<int>(device() % 4);
+}
+
+}  // namespace eas

@@ -1,0 +1,28 @@
+// Known-bad fixture: a shard-local phase reaching cross-shard state through
+// an intermediate helper. The linter must report the full chain
+// TickPackagePhase -> RollupMachineLoad -> ScanAllShards.
+#define EAS_SHARD_LOCAL
+#define EAS_CROSS_SHARD
+
+namespace eas {
+
+struct SimulationState;
+
+EAS_CROSS_SHARD double ScanAllShards(SimulationState& state);
+EAS_SHARD_LOCAL void TickPackagePhase(SimulationState& state, int package);
+
+double RollupMachineLoad(SimulationState& state) {
+  return ScanAllShards(state);
+}
+
+EAS_CROSS_SHARD double ScanAllShards(SimulationState& state) {
+  (void)state;
+  return 0.0;
+}
+
+EAS_SHARD_LOCAL void TickPackagePhase(SimulationState& state, int package) {
+  (void)package;
+  RollupMachineLoad(state);  // expect: shard-confinement
+}
+
+}  // namespace eas

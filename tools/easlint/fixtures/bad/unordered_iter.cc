@@ -1,0 +1,21 @@
+// Known-bad fixture: result-affecting iteration over unordered containers.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace eas {
+
+struct LoadTable {
+  std::unordered_map<int, double> load_by_cpu;
+  std::unordered_set<int> hot_cpus;
+};
+
+int FirstHotCpu(const LoadTable& table) {
+  for (int cpu : table.hot_cpus) {  // expect: determinism-unordered-iter
+    return cpu;  // first element of an unordered container: run-dependent
+  }
+  auto it = table.load_by_cpu.begin();  // expect: determinism-unordered-iter
+  return it == table.load_by_cpu.end() ? -1 : it->first;
+}
+
+}  // namespace eas

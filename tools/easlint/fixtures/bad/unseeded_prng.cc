@@ -1,0 +1,13 @@
+// Known-bad fixture: std::<random> engines instead of eas::Rng.
+#include <random>
+
+namespace eas {
+
+double SampleServiceTime() {
+  std::mt19937_64 engine;  // expect: determinism-unseeded-prng
+  std::default_random_engine fallback;  // expect: determinism-unseeded-prng
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine) + dist(fallback);
+}
+
+}  // namespace eas

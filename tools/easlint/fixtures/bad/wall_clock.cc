@@ -1,0 +1,16 @@
+// Known-bad fixture: wall-clock reads in result-affecting code.
+#include <chrono>
+#include <ctime>
+
+namespace eas {
+
+long TickBudgetFromRealTime() {
+  auto now = std::chrono::steady_clock::now();  // expect: determinism-wall-clock
+  auto wall = std::chrono::system_clock::now();  // expect: determinism-wall-clock
+  std::time_t stamp = time(nullptr);  // expect: determinism-wall-clock
+  (void)wall;
+  (void)stamp;
+  return now.time_since_epoch().count();
+}
+
+}  // namespace eas

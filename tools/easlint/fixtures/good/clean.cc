@@ -1,0 +1,44 @@
+// Known-good fixture: idiomatic project code that every easlint rule must
+// accept. A regression that makes any rule fire here is a false positive.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eas {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t NextU64() { return state_ += 0x9E3779B97F4A7C15ull; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Dense-indexed aggregate storage: the sanctioned alternative to keying by
+// pointer (cf. BalanceAggregateCache after the DomainHierarchy re-key).
+struct Aggregates {
+  std::vector<double> by_group_index;
+  std::map<int, double> by_cpu;  // ordered key: deterministic iteration
+};
+
+double SumAggregates(const Aggregates& aggregates) {
+  double total = 0.0;
+  for (const auto& [cpu, value] : aggregates.by_cpu) {
+    total += value;
+  }
+  for (double value : aggregates.by_group_index) {
+    total += value;
+  }
+  return total;
+}
+
+std::uint64_t DrawSeeded(Rng& rng) { return rng.NextU64(); }
+
+// Mentioning rand or steady_clock in comments and strings must not fire:
+// the token engine blanks both views. rand() std::random_device
+const char* kDocString =
+    "wall-clock reads like steady_clock::now() are banned in src/";
+
+}  // namespace eas

@@ -1,0 +1,23 @@
+// Known-good fixture: findings silenced by *justified* suppressions. Both
+// allow() forms (same line, line above) must work, and neither may produce a
+// suppression-justification finding because each carries a written reason.
+#include <string>
+#include <unordered_map>
+
+namespace eas {
+
+struct Probe {
+  // easlint: allow(determinism-pointer-key) -- diagnostic-only aside; never iterated, never affects results
+  std::unordered_map<const int*, int> watch_counts;
+};
+
+int CountProbes(const Probe& probe) {
+  int total = 0;
+  // Order-independent fold: commutative sum over values only.
+  for (const auto& entry : probe.watch_counts) {  // easlint: allow(determinism-unordered-iter) -- commutative integer sum; order cannot affect the result
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace eas
