@@ -64,13 +64,10 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }
 
 eas::MachineConfig BenchConfig(const char* topology, std::size_t intra_threads) {
-  std::string error;
-  auto resolved = eas::ResolveRunRequest(
-      *eas::ParseRunRequest(std::string("topology = ") + topology + "; max-power = 60; seed = 7",
-                            &error),
-      &error);
-  if (!resolved.has_value()) {
-    std::fprintf(stderr, "resolve: %s\n", error.c_str());
+  auto resolved = eas::ResolveRunRequest(*eas::ParseRunRequest(
+      std::string("topology = ") + topology + "; max-power = 60; seed = 7"));
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "resolve: %s\n", resolved.error().Render().c_str());
     std::exit(1);
   }
   eas::MachineConfig config = resolved->specs.front().config;

@@ -65,10 +65,10 @@ int main(int argc, char** argv) {
       if (duration > 0) {
         request.duration_s = static_cast<double>(duration) / 1000.0;
       }
-      std::string error;
-      auto r = eas::ResolveRunRequest(request, &error);
-      if (!r.has_value()) {
-        std::fprintf(stderr, "resolve %s: %s\n", request.name.c_str(), error.c_str());
+      auto r = eas::ResolveRunRequest(request);
+      if (!r.ok()) {
+        std::fprintf(stderr, "resolve %s: %s\n", request.name.c_str(),
+                     r.error().Render().c_str());
         return 1;
       }
       resolved.push_back(std::move(*r));

@@ -41,10 +41,9 @@ std::vector<eas::ExperimentSpec> MakeSweep(int runs, eas::Tick duration) {
   request.workload = "mixed:2";
   request.max_power = 60.0;
   request.runs = static_cast<std::uint64_t>(runs);
-  std::string error;
-  auto resolved = eas::ResolveRunRequest(request, &error);
-  if (!resolved.has_value()) {
-    std::fprintf(stderr, "resolve: %s\n", error.c_str());
+  auto resolved = eas::ResolveRunRequest(request);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "resolve: %s\n", resolved.error().Render().c_str());
     std::exit(1);
   }
   std::vector<eas::ExperimentSpec> specs = std::move(resolved->specs);

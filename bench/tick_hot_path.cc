@@ -55,11 +55,9 @@ eas::MachineConfig BenchConfig() {
   // The bench machine as a request (paper topology, 60 W cap, seed 7), then
   // oracle estimator weights so the timing measures the engine, not
   // calibration.
-  std::string error;
-  auto resolved = eas::ResolveRunRequest(
-      *eas::ParseRunRequest("max-power = 60; seed = 7", &error), &error);
-  if (!resolved.has_value()) {
-    std::fprintf(stderr, "resolve: %s\n", error.c_str());
+  auto resolved = eas::ResolveRunRequest(*eas::ParseRunRequest("max-power = 60; seed = 7"));
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "resolve: %s\n", resolved.error().Render().c_str());
     std::exit(1);
   }
   eas::MachineConfig config = resolved->specs.front().config;

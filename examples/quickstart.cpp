@@ -28,15 +28,15 @@ eas::ResolvedRequest MakeRequest(bool energy_aware) {
                            (energy_aware ? "energy_aware" : "baseline") +
                            "; policy = " + (energy_aware ? "energy_aware" : "load_only") +
                            "; workload = mixed:3; max-power = 60; duration-s = 120";
-  std::string error;
-  const auto request = eas::ParseRunRequest(text, &error);
+  const auto request = eas::ParseRunRequest(text);
 
   // 2. Resolve it: registry names are validated here, scenario defaults and
   //    the machine model are filled in, and the request expands into one
-  //    ExperimentSpec per run.
-  const auto resolved = eas::ResolveRunRequest(*request, &error);
-  if (!resolved.has_value()) {
-    std::fprintf(stderr, "resolve: %s\n", error.c_str());
+  //    ExperimentSpec per run. Failures come back as a structured
+  //    RequestError; Render() is the human-readable diagnostic.
+  const auto resolved = eas::ResolveRunRequest(*request);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "resolve: %s\n", resolved.error().Render().c_str());
     std::exit(1);
   }
   return *resolved;
@@ -77,10 +77,9 @@ int main() {
   //    field write away.
   eas::RunRequest scenario = eas::RunRequestForScenario("paper-mixed");
   scenario.duration_s = 120.0;
-  std::string error;
-  const auto resolved = eas::ResolveRunRequest(scenario, &error);
-  if (!resolved.has_value()) {
-    std::fprintf(stderr, "resolve: %s\n", error.c_str());
+  const auto resolved = eas::ResolveRunRequest(scenario);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "resolve: %s\n", resolved.error().Render().c_str());
     return 1;
   }
   const eas::RunResult rerun = session.Run(*resolved)[0].result;

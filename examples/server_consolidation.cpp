@@ -30,10 +30,9 @@ eas::ResolvedRequest MakeRequest(bool energy_aware) {
   // memory-bound workers, TLS termination, interactive daemons.
   request.workload = "list:bitcnts*8,memrw*12,openssl*8,sshd*4";
 
-  std::string error;
-  const auto resolved = eas::ResolveRunRequest(request, &error);
-  if (!resolved.has_value()) {
-    std::fprintf(stderr, "resolve: %s\n", error.c_str());
+  const auto resolved = eas::ResolveRunRequest(request);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "resolve: %s\n", resolved.error().Render().c_str());
     std::exit(1);
   }
   return *resolved;

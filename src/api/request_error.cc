@@ -1,0 +1,31 @@
+#include "src/api/request_error.h"
+
+namespace eas {
+
+const char* RequestErrorCodeName(RequestErrorCode code) {
+  switch (code) {
+    case RequestErrorCode::kSyntax:
+      return "syntax";
+    case RequestErrorCode::kUnknownKey:
+      return "unknown-key";
+    case RequestErrorCode::kDuplicateKey:
+      return "duplicate-key";
+    case RequestErrorCode::kEmptyValue:
+      return "empty-value";
+    case RequestErrorCode::kBadValue:
+      return "bad-value";
+    case RequestErrorCode::kUnknownName:
+      return "unknown-name";
+    case RequestErrorCode::kQueueFull:
+      return "queue-full";
+    case RequestErrorCode::kShuttingDown:
+      return "shutting-down";
+    case RequestErrorCode::kProtocol:
+      return "protocol";
+    case RequestErrorCode::kIo:
+      return "io";
+  }
+  return "unknown";
+}
+
+}  // namespace eas

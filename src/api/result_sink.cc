@@ -1,5 +1,6 @@
 #include "src/api/result_sink.h"
 
+#include <iostream>
 #include <utility>
 
 #include "src/sim/csv_export.h"
@@ -132,34 +133,17 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
-JsonlSink::JsonlSink(std::string path) : path_(std::move(path)) {}
-
-void JsonlSink::EnsureOpen() {
-  if (opened_) {
-    return;
-  }
-  opened_ = true;
-  stream_.open(path_, std::ios::binary);
-  if (!stream_) {
-    error_ = "failed to open " + path_;
-  }
-}
-
-void JsonlSink::Begin(std::size_t /*total_records*/) { EnsureOpen(); }
-
-void JsonlSink::AppendLine(const std::string& json_object) {
-  EnsureOpen();
-  if (!error_.empty()) {
-    return;
-  }
-  stream_ << json_object << '\n';
-}
-
-void JsonlSink::Consume(const RunRecord& record) {
+std::string JsonlRecordLine(const RunRecord& record) {
   std::string line = "{\"name\": \"" + JsonEscape(record.spec.name) + "\"";
   line += ", \"seed\": " + std::to_string(record.seed());
   line += ", \"run\": " + std::to_string(record.index);
   line += ", \"request\": \"" + JsonEscape(FormatRunRequestLine(record.request)) + "\"";
+  // The tag rides in the request string too, but concurrent serve-mode
+  // clients demux on it, so it gets a first-class field. Absent when empty:
+  // untagged output stays byte-identical to before the key existed.
+  if (!record.request.tag.empty()) {
+    line += ", \"tag\": \"" + JsonEscape(record.request.tag) + "\"";
+  }
   for (const MetricValue& metric : MetricRegistry::Global().Scalars(record.result)) {
     line += ", \"" + metric.name + "\": " + FormatMetricValue(metric);
   }
@@ -173,8 +157,39 @@ void JsonlSink::Consume(const RunRecord& record) {
                 record.result.MaxThermalSpreadAfter(record.spec.options.duration_ticks / 2));
   line += buffer;
   line += "}";
-  AppendLine(line);
+  return line;
 }
+
+JsonlSink::JsonlSink(std::string path) : path_(std::move(path)) {}
+
+void JsonlSink::EnsureOpen() {
+  if (opened_) {
+    return;
+  }
+  opened_ = true;
+  if (path_ == "-") {
+    out_ = &std::cout;
+    return;
+  }
+  stream_.open(path_, std::ios::binary);
+  if (!stream_) {
+    error_ = "failed to open " + path_;
+    return;
+  }
+  out_ = &stream_;
+}
+
+void JsonlSink::Begin(std::size_t /*total_records*/) { EnsureOpen(); }
+
+void JsonlSink::AppendLine(const std::string& json_object) {
+  EnsureOpen();
+  if (!error_.empty()) {
+    return;
+  }
+  *out_ << json_object << '\n';
+}
+
+void JsonlSink::Consume(const RunRecord& record) { AppendLine(JsonlRecordLine(record)); }
 
 void JsonlSink::Finish() {
   if (finished_) {
@@ -182,6 +197,10 @@ void JsonlSink::Finish() {
   }
   finished_ = true;
   if (!opened_ || !error_.empty()) {
+    return;
+  }
+  if (out_ == &std::cout) {
+    out_->flush();
     return;
   }
   stream_.close();
@@ -195,7 +214,26 @@ void JsonlSink::Finish() {
 AsciiPlotSink::AsciiPlotSink(std::FILE* out, PlotOptions options)
     : out_(out), options_(std::move(options)) {}
 
+AsciiPlotSink::AsciiPlotSink(const std::string& path, PlotOptions options)
+    : out_(nullptr), options_(std::move(options)), path_(path) {
+  if (path == "-") {
+    out_ = stdout;
+    return;
+  }
+  out_ = std::fopen(path.c_str(), "wb");
+  if (out_ == nullptr) {
+    error_ = "failed to open " + path;
+  } else {
+    owned_ = true;
+  }
+}
+
+AsciiPlotSink::~AsciiPlotSink() { Finish(); }
+
 void AsciiPlotSink::Consume(const RunRecord& record) {
+  if (out_ == nullptr) {
+    return;
+  }
   PlotOptions options = options_;
   if (!options.use_marker && record.spec.config.explicit_max_power_physical.has_value()) {
     options.marker = *record.spec.config.explicit_max_power_physical;
@@ -209,6 +247,20 @@ void AsciiPlotSink::Consume(const RunRecord& record) {
   std::fprintf(out_, "-- %s (seed %llu) per-CPU thermal power --\n", record.spec.name.c_str(),
                static_cast<unsigned long long>(record.seed()));
   std::fputs(RenderPlot(record.result.thermal_power, options).c_str(), out_);
+}
+
+void AsciiPlotSink::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  if (!owned_ || out_ == nullptr) {
+    return;
+  }
+  if (std::fclose(out_) != 0 && error_.empty()) {
+    error_ = "failed to write " + path_;
+  }
+  out_ = nullptr;
 }
 
 }  // namespace eas

@@ -8,8 +8,14 @@
 //   CsvSink       the summary/trace CSVs eastool always wrote - byte-
 //                 identical for a single run, one row / one trace file per
 //                 run for sweeps
-//   JsonlSink     one JSON object per record (the bench report format)
-//   AsciiPlotSink a thermal-power plot per record on a stdio stream
+//   JsonlSink     one JSON object per record (the bench report format);
+//                 path "-" streams to stdout
+//   AsciiPlotSink a thermal-power plot per record, to a borrowed stdio
+//                 stream or an owned file path
+//
+// Sinks are constructed directly or by name through the SinkRegistry
+// ("csv:out.csv", "jsonl:-", ... - src/api/sink_registry.h), the same
+// string-keyed pattern the policy/governor/scenario registries use.
 //
 // All column names, values and presence rules come from the MetricRegistry
 // (src/sim/metrics.h), so sinks never special-case governed vs ungoverned
@@ -46,6 +52,12 @@ class ResultSink {
   // Called once by the sink's owner after the last record; flushes and
   // closes. Idempotent.
   virtual void Finish() {}
+
+  // Writes one raw line around the records (bench sweeps put their run
+  // configuration first and wall-clock totals last). Sinks whose format has
+  // no place for free-form lines ignore it, so callers can hold any sink by
+  // base pointer and still annotate.
+  virtual void AppendLine(const std::string& /*line*/) {}
 
   // False after an I/O failure; error() names the path and the offense.
   virtual bool ok() const { return true; }
@@ -97,14 +109,17 @@ class CsvSink : public ResultSink {
   std::string error_;
 };
 
-// One JSON object per record: session metadata (name, seed, run index), the
-// originating request as a single `key = value; ...` string (parseable back
-// into a RunRequest), every scalar metric of the run, plus the record-
-// derived peak_thermal_w / steady_spread_w the bench reports always
-// carried. Callers may add
-// their own header/trailer lines around the records with AppendLine - the
-// bench sweeps put their run configuration first and wall-clock totals
-// last.
+// The one JSON object a record renders as: session metadata (name, seed,
+// run index), the originating request as a single `key = value; ...` string
+// (parseable back into a RunRequest), the request's tag when set, every
+// scalar metric of the run, plus the record-derived peak_thermal_w /
+// steady_spread_w the bench reports always carried. This free function IS
+// the record wire format: the experiment service streams exactly these
+// bytes per record, which is what makes serve-mode output byte-comparable
+// to an offline JsonlSink file.
+std::string JsonlRecordLine(const RunRecord& record);
+
+// Streams JsonlRecordLine per record to `path`, or to stdout for path "-".
 class JsonlSink : public ResultSink {
  public:
   explicit JsonlSink(std::string path);
@@ -117,13 +132,14 @@ class JsonlSink : public ResultSink {
 
   // Writes one raw line (a complete JSON object) to the stream. Opens the
   // stream if Begin has not run yet.
-  void AppendLine(const std::string& json_object);
+  void AppendLine(const std::string& json_object) override;
 
  private:
   void EnsureOpen();
 
   std::string path_;
   std::ofstream stream_;
+  std::ostream* out_ = nullptr;  // &stream_, or std::cout for path "-"
   bool opened_ = false;
   bool finished_ = false;
   std::string error_;
@@ -134,16 +150,27 @@ class JsonlSink : public ResultSink {
 std::string JsonEscape(const std::string& text);
 
 // Renders each record's thermal-power trace as the paper-style ASCII plot,
-// with a per-run title line. `out` is borrowed, not owned.
+// with a per-run title line. The stream ctor borrows `out`; the path ctor
+// opens and owns the file ("-" borrows stdout) and reports I/O failure
+// through ok()/error().
 class AsciiPlotSink : public ResultSink {
  public:
   explicit AsciiPlotSink(std::FILE* out, PlotOptions options = {});
+  explicit AsciiPlotSink(const std::string& path, PlotOptions options = {});
+  ~AsciiPlotSink() override;
 
   void Consume(const RunRecord& record) override;
+  void Finish() override;
+  bool ok() const override { return error_.empty(); }
+  std::string error() const override { return error_; }
 
  private:
   std::FILE* out_;
+  bool owned_ = false;
+  bool finished_ = false;
   PlotOptions options_;
+  std::string path_;
+  std::string error_;
 };
 
 }  // namespace eas

@@ -9,6 +9,7 @@
 #include "src/core/policy_registry.h"
 #include "src/freq/governor_registry.h"
 #include "src/sim/scenario.h"
+#include "src/sim/scenario_cache.h"
 #include "src/workloads/generators.h"
 #include "src/workloads/programs.h"
 #include "src/workloads/workload_builder.h"
@@ -19,10 +20,10 @@ namespace {
 // The request-file keys, in canonical (format) order. Kept aligned with the
 // eastool flag names so a request file reads like the command line it
 // replaces.
-constexpr const char* kKeys[] = {"name",       "scenario", "topology",   "workload",
-                                 "policy",     "governor", "duration-s", "max-power",
-                                 "temp-limit", "throttle", "skip-ahead", "intra-threads",
-                                 "seed",       "runs"};
+constexpr const char* kKeys[] = {"name",       "tag",      "scenario",   "topology",
+                                 "workload",   "policy",   "governor",   "duration-s",
+                                 "max-power",  "temp-limit", "throttle", "skip-ahead",
+                                 "intra-threads", "seed",  "runs"};
 
 std::string KnownKeys() {
   std::string known;
@@ -76,45 +77,52 @@ std::string FormatDouble(double value) {
   return std::string(buffer, ptr);
 }
 
-void Fail(std::string* error, const std::string& message) {
-  if (error != nullptr) {
-    *error = message;
-  }
+RequestError MakeError(RequestErrorCode code, std::string key, std::string message) {
+  RequestError error;
+  error.code = code;
+  error.key = std::move(key);
+  error.message = std::move(message);
+  return error;
 }
 
-// Applies one parsed `key = value` pair onto `request`; false (with *error
-// set, no line prefix) on an unknown key or a malformed value.
-bool ApplyPair(const std::string& key, const std::string& value, RunRequest* request,
-               std::string* error) {
+// Applies one parsed `key = value` pair onto `request`; the error (with no
+// line attribution - ParseRunRequest adds it) on an unknown key or a
+// malformed value.
+std::optional<RequestError> ApplyPair(const std::string& key, const std::string& value,
+                                      RunRequest* request) {
   if (key == "name") {
     request->name = value;
-    return true;
+    return std::nullopt;
+  }
+  if (key == "tag") {
+    request->tag = value;
+    return std::nullopt;
   }
   if (key == "scenario") {
     request->scenario = value;
-    return true;
+    return std::nullopt;
   }
   if (key == "topology") {
     request->topology = value;
-    return true;
+    return std::nullopt;
   }
   if (key == "workload") {
     request->workload = value;
-    return true;
+    return std::nullopt;
   }
   if (key == "policy") {
     request->policy = value;
-    return true;
+    return std::nullopt;
   }
   if (key == "governor") {
     request->governor = value;
-    return true;
+    return std::nullopt;
   }
   if (key == "duration-s" || key == "max-power" || key == "temp-limit") {
     double parsed = 0.0;
     if (!ParseDoubleValue(value, &parsed)) {
-      Fail(error, "bad value for " + key + ": \"" + value + "\" (want a number)");
-      return false;
+      return MakeError(RequestErrorCode::kBadValue, key,
+                       "bad value for " + key + ": \"" + value + "\" (want a number)");
     }
     if (key == "duration-s") {
       request->duration_s = parsed;
@@ -123,26 +131,27 @@ bool ApplyPair(const std::string& key, const std::string& value, RunRequest* req
     } else {
       request->temp_limit = parsed;
     }
-    return true;
+    return std::nullopt;
   }
   if (key == "throttle" || key == "skip-ahead") {
     bool parsed = false;
     if (!ParseBoolValue(value, &parsed)) {
-      Fail(error, "bad value for " + key + ": \"" + value + "\" (want true/false)");
-      return false;
+      return MakeError(RequestErrorCode::kBadValue, key,
+                       "bad value for " + key + ": \"" + value + "\" (want true/false)");
     }
     if (key == "throttle") {
       request->throttle = parsed;
     } else {
       request->skip_ahead = parsed;
     }
-    return true;
+    return std::nullopt;
   }
   if (key == "seed" || key == "runs" || key == "intra-threads") {
     std::uint64_t parsed = 0;
     if (!ParseUintValue(value, &parsed)) {
-      Fail(error, "bad value for " + key + ": \"" + value + "\" (want a non-negative integer)");
-      return false;
+      return MakeError(
+          RequestErrorCode::kBadValue, key,
+          "bad value for " + key + ": \"" + value + "\" (want a non-negative integer)");
     }
     if (key == "seed") {
       request->seed = parsed;
@@ -151,10 +160,10 @@ bool ApplyPair(const std::string& key, const std::string& value, RunRequest* req
     } else {
       request->intra_threads = parsed;
     }
-    return true;
+    return std::nullopt;
   }
-  Fail(error, "unknown key \"" + key + "\" (known: " + KnownKeys() + ")");
-  return false;
+  return MakeError(RequestErrorCode::kUnknownKey, key,
+                   "unknown key \"" + key + "\" (known: " + KnownKeys() + ")");
 }
 
 void Append(std::string* out, const char* key, const std::string& value,
@@ -171,6 +180,9 @@ std::string FormatWithSeparator(const RunRequest& request, const char* separator
   std::string out;
   if (!request.name.empty()) {
     Append(&out, "name", request.name, separator);
+  }
+  if (!request.tag.empty()) {
+    Append(&out, "tag", request.tag, separator);
   }
   if (!request.scenario.empty()) {
     Append(&out, "scenario", request.scenario, separator);
@@ -222,26 +234,31 @@ bool TextSafe(const std::string& value) {
 
 }  // namespace
 
-bool ApplyRunRequestField(const std::string& key, const std::string& value,
-                          RunRequest* request, std::string* error) {
+std::optional<RequestError> ApplyRunRequestField(const std::string& key,
+                                                 const std::string& value,
+                                                 RunRequest* request) {
   if (value.empty()) {
-    Fail(error, "empty value for \"" + key + "\"");
-    return false;
+    return MakeError(RequestErrorCode::kEmptyValue, key, "empty value for \"" + key + "\"");
   }
-  return ApplyPair(key, value, request, error);
+  return ApplyPair(key, value, request);
 }
 
-std::optional<RunRequest> ParseRunRequest(const std::string& text, std::string* error) {
+Expected<RunRequest> ParseRunRequest(const std::string& text) {
   RunRequest request;
   std::vector<std::string> seen;
   std::size_t line_number = 0;
   std::size_t line_start = 0;
+  // Attaches the current line to an error built below; Render() turns it
+  // back into the historical "line N: ..." diagnostic.
+  const auto at_line = [&line_number](RequestError error) {
+    error.line = line_number;
+    return error;
+  };
   while (line_start <= text.size()) {
     const std::size_t newline = text.find('\n', line_start);
     std::string line = text.substr(
         line_start, newline == std::string::npos ? std::string::npos : newline - line_start);
     ++line_number;
-    const std::string prefix = "line " + std::to_string(line_number) + ": ";
     // Strip comments, then split the remainder into ';'-separated pairs so
     // a whole request fits on one (batch-file) line.
     const std::size_t hash = line.find('#');
@@ -256,30 +273,27 @@ std::optional<RunRequest> ParseRunRequest(const std::string& text, std::string* 
       if (!pair.empty()) {
         const std::size_t eq = pair.find('=');
         if (eq == std::string::npos) {
-          Fail(error, prefix + "expected key = value, got \"" + pair + "\"");
-          return std::nullopt;
+          return at_line(MakeError(RequestErrorCode::kSyntax, "",
+                                   "expected key = value, got \"" + pair + "\""));
         }
         const std::string key = Trim(pair.substr(0, eq));
         const std::string value = Trim(pair.substr(eq + 1));
         if (key.empty()) {
-          Fail(error, prefix + "missing key before '='");
-          return std::nullopt;
+          return at_line(MakeError(RequestErrorCode::kSyntax, "", "missing key before '='"));
         }
         if (value.empty()) {
-          Fail(error, prefix + "empty value for \"" + key + "\"");
-          return std::nullopt;
+          return at_line(MakeError(RequestErrorCode::kEmptyValue, key,
+                                   "empty value for \"" + key + "\""));
         }
         for (const std::string& earlier : seen) {
           if (earlier == key) {
-            Fail(error, prefix + "duplicate key \"" + key + "\"");
-            return std::nullopt;
+            return at_line(MakeError(RequestErrorCode::kDuplicateKey, key,
+                                     "duplicate key \"" + key + "\""));
           }
         }
         seen.push_back(key);
-        std::string pair_error;
-        if (!ApplyPair(key, value, &request, &pair_error)) {
-          Fail(error, prefix + pair_error);
-          return std::nullopt;
+        if (auto error = ApplyPair(key, value, &request)) {
+          return at_line(std::move(*error));
         }
       }
       if (semi == std::string::npos) {
@@ -325,7 +339,7 @@ std::string NormalizePolicyName(std::string name) {
   return name;
 }
 
-std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std::string* error) {
+Expected<ResolvedRequest> ResolveRunRequest(const RunRequest& request, ScenarioCache* cache) {
   ResolvedRequest resolved;
   resolved.request = request;
   const bool from_scenario = !request.scenario.empty();
@@ -336,22 +350,32 @@ std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std:
   // format cannot carry (comment/separator characters, edge whitespace)
   // would silently replay as a *different* run, so it is rejected here,
   // where programmatically built requests also pass through.
-  const auto check_text_safe = [error](const char* key, const std::string& value) {
-    if (TextSafe(value)) {
-      return true;
-    }
-    Fail(error, std::string("bad ") + key +
-                    ": the request text format cannot carry '#', ';', newlines or "
-                    "edge whitespace");
-    return false;
+  const auto text_unsafe = [](const char* key) {
+    return MakeError(RequestErrorCode::kBadValue, key,
+                     std::string("bad ") + key +
+                         ": the request text format cannot carry '#', ';', newlines or "
+                         "edge whitespace");
   };
-  if (!check_text_safe("name", request.name) ||
-      !check_text_safe("scenario", request.scenario) ||
-      (request.topology.has_value() && !check_text_safe("topology", *request.topology)) ||
-      (request.workload.has_value() && !check_text_safe("workload", *request.workload)) ||
-      (request.policy.has_value() && !check_text_safe("policy", *request.policy)) ||
-      (request.governor.has_value() && !check_text_safe("governor", *request.governor))) {
-    return std::nullopt;
+  if (!TextSafe(request.name)) {
+    return text_unsafe("name");
+  }
+  if (!TextSafe(request.tag)) {
+    return text_unsafe("tag");
+  }
+  if (!TextSafe(request.scenario)) {
+    return text_unsafe("scenario");
+  }
+  if (request.topology.has_value() && !TextSafe(*request.topology)) {
+    return text_unsafe("topology");
+  }
+  if (request.workload.has_value() && !TextSafe(*request.workload)) {
+    return text_unsafe("workload");
+  }
+  if (request.policy.has_value() && !TextSafe(*request.policy)) {
+    return text_unsafe("policy");
+  }
+  if (request.governor.has_value() && !TextSafe(*request.governor)) {
+    return text_unsafe("governor");
   }
 
   ExperimentSpec spec;
@@ -361,14 +385,18 @@ std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std:
       for (const std::string& name : ScenarioRegistry::Global().Names()) {
         known += known.empty() ? name : ", " + name;
       }
-      Fail(error, "unknown scenario \"" + request.scenario + "\" (known: " + known + ")");
-      return std::nullopt;
+      return MakeError(RequestErrorCode::kUnknownName, "scenario",
+                       "unknown scenario \"" + request.scenario + "\" (known: " + known + ")");
     }
-    spec = ScenarioRegistry::Global().BuildOrThrow(request.scenario).ToExperimentSpec();
+    // The cached build and a fresh factory call are the same deterministic
+    // data; the cache only amortizes workload generation across requests.
+    spec = cache != nullptr ? cache->Scenario(request.scenario)->ToExperimentSpec()
+                            : ScenarioRegistry::Global().BuildOrThrow(request.scenario)
+                                  .ToExperimentSpec();
     if (request.workload.has_value()) {
-      Fail(error, "workload cannot override a scenario workload (scenario \"" +
-                      request.scenario + "\" defines its own)");
-      return std::nullopt;
+      return MakeError(RequestErrorCode::kBadValue, "workload",
+                       "workload cannot override a scenario workload (scenario \"" +
+                           request.scenario + "\" defines its own)");
     }
   } else {
     spec.name = "cli";
@@ -382,8 +410,7 @@ std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std:
     std::string topo_error;
     const auto topology = ParseTopologySpec(request.topology.value_or("2:4:1"), &topo_error);
     if (!topology.has_value()) {
-      Fail(error, "bad topology: " + topo_error);
-      return std::nullopt;
+      return MakeError(RequestErrorCode::kBadValue, "topology", "bad topology: " + topo_error);
     }
     spec.config.topology = *topology;
     // The paper's 8-package box gets its measured per-package cooling; any
@@ -399,16 +426,16 @@ std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std:
     // Programmatically built requests bypass the parser, so the finiteness
     // guard repeats here (and for temp-limit / duration-s below).
     if (!(*request.max_power > 0.0) || !std::isfinite(*request.max_power)) {
-      Fail(error, "bad max-power: want a finite value > 0 W");
-      return std::nullopt;
+      return MakeError(RequestErrorCode::kBadValue, "max-power",
+                       "bad max-power: want a finite value > 0 W");
     }
     spec.config.explicit_max_power_physical = *request.max_power;
   }
   if (!from_scenario || request.temp_limit.has_value()) {
     const double temp_limit = request.temp_limit.value_or(38.0);
     if (!std::isfinite(temp_limit)) {
-      Fail(error, "bad temp-limit: want a finite temperature");
-      return std::nullopt;
+      return MakeError(RequestErrorCode::kBadValue, "temp-limit",
+                       "bad temp-limit: want a finite temperature");
     }
     spec.config.temp_limit = temp_limit;
   }
@@ -437,8 +464,8 @@ std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std:
       for (const std::string& name : BalancePolicyRegistry::Global().Names()) {
         known += known.empty() ? name : ", " + name;
       }
-      Fail(error, "unknown policy \"" + policy + "\" (known: " + known + ")");
-      return std::nullopt;
+      return MakeError(RequestErrorCode::kUnknownName, "policy",
+                       "unknown policy \"" + policy + "\" (known: " + known + ")");
     }
     spec.config.sched = SchedConfigForPolicy(policy);
     resolved.policy = policy;
@@ -454,8 +481,8 @@ std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std:
       for (const std::string& name : FrequencyGovernorRegistry::Global().Names()) {
         known += known.empty() ? name : ", " + name;
       }
-      Fail(error, "unknown governor \"" + governor + "\" (known: " + known + ")");
-      return std::nullopt;
+      return MakeError(RequestErrorCode::kUnknownName, "governor",
+                       "unknown governor \"" + governor + "\" (known: " + known + ")");
     }
     spec.config.frequency_governor = governor;
   }
@@ -463,21 +490,25 @@ std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std:
 
   // --- workload -------------------------------------------------------------
   if (!from_scenario) {
-    auto library = std::make_shared<ProgramLibrary>(spec.config.model);
+    // Non-scenario requests all draw from the default-model library; the
+    // cache shares one immutable build across them.
+    std::shared_ptr<const ProgramLibrary> library =
+        cache != nullptr ? cache->DefaultLibrary(spec.config.model)
+                         : std::make_shared<const ProgramLibrary>(spec.config.model);
     const std::string workload_spec = request.workload.value_or("mixed:3");
     Workload workload;
     if (workload_spec.rfind("trace:", 0) == 0) {
       std::string trace_error;
       if (!LoadTraceWorkload(workload_spec.substr(6), *library, &workload, &trace_error)) {
-        Fail(error, "bad workload trace: " + trace_error);
-        return std::nullopt;
+        return MakeError(RequestErrorCode::kBadValue, "workload",
+                         "bad workload trace: " + trace_error);
       }
     } else {
       workload = Workload(ParseWorkloadSpec(workload_spec, *library));
     }
     if (workload.empty()) {
-      Fail(error, "bad workload \"" + workload_spec + "\"");
-      return std::nullopt;
+      return MakeError(RequestErrorCode::kBadValue, "workload",
+                       "bad workload \"" + workload_spec + "\"");
     }
     workload.Retain(library);
     spec.workload = std::move(workload);
@@ -489,8 +520,8 @@ std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std:
     // !(x > 0) also rejects NaN; the upper bound keeps the tick cast far
     // from Tick overflow (9e12 s ~ 285 millennia of simulated time).
     if (!(duration_s > 0.0) || duration_s > 9.0e12) {
-      Fail(error, "bad duration-s: want > 0 (and sane) simulated seconds");
-      return std::nullopt;
+      return MakeError(RequestErrorCode::kBadValue, "duration-s",
+                       "bad duration-s: want > 0 (and sane) simulated seconds");
     }
     // Round, don't truncate: a tick count that round-tripped through
     // seconds (e.g. a bench's duration/1000.0) must resolve to exactly that
@@ -502,8 +533,7 @@ std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std:
   }
 
   if (request.runs < 1) {
-    Fail(error, "bad runs: want >= 1");
-    return std::nullopt;
+    return MakeError(RequestErrorCode::kBadValue, "runs", "bad runs: want >= 1");
   }
   resolved.specs = request.runs == 1
                        ? std::vector<ExperimentSpec>{std::move(spec)}

@@ -16,8 +16,10 @@
 // ParseRunRequest reads that `key = value` format ('#' comments, blank
 // lines; ';' separates pairs on one line, so a whole request fits on a
 // batch-file line) and rejects unknown keys, duplicate keys and malformed
-// values with the offending line named. FormatRunRequest renders the
-// canonical text: FormatRunRequest(*ParseRunRequest(s)) is a fixed point.
+// values with a structured RequestError naming the offending line and key
+// (src/api/request_error.h; Render() is the exact legacy diagnostic).
+// FormatRunRequest renders the canonical text:
+// FormatRunRequest(*ParseRunRequest(s)) is a fixed point.
 //
 // Optional fields distinguish "not specified" from any explicit value:
 // unset fields inherit the scenario's setting when `scenario` names one,
@@ -27,7 +29,11 @@
 // ResolveRunRequest turns a request into runnable ExperimentSpecs (one per
 // run, seed-swept) plus the effective policy/governor names; feed those to
 // RunSession (src/api/run_session.h) to execute and stream RunRecords into
-// ResultSinks.
+// ResultSinks. The overload taking a ScenarioCache is the warm-process
+// path: a resident service resolves thousands of requests against one
+// cached scenario/program-library set instead of rebuilding per request
+// (results are bit-identical either way - the cache is pure memoization of
+// deterministic builds).
 
 #ifndef SRC_API_RUN_REQUEST_H_
 #define SRC_API_RUN_REQUEST_H_
@@ -37,13 +43,23 @@
 #include <string>
 #include <vector>
 
+#include "src/api/request_error.h"
 #include "src/sim/experiment_runner.h"
 
 namespace eas {
 
+class ScenarioCache;
+
 struct RunRequest {
   // Label for reports; defaults to the scenario name, or "cli".
   std::string name;
+
+  // Client-chosen correlation label, echoed verbatim into every RunRecord
+  // and JSONL line the request produces. Concurrent serve-mode clients use
+  // it to demux streamed records; offline runs may use it to join sweep
+  // outputs. Empty = untagged (output stays byte-identical to before the
+  // key existed).
+  std::string tag;
 
   // ScenarioRegistry name providing the base configuration; "" builds the
   // default machine (the paper's 8-way box) from the fields below instead.
@@ -90,17 +106,19 @@ struct RunRequest {
   bool operator==(const RunRequest&) const = default;
 };
 
-// Parses the `key = value` request text; std::nullopt (with `*error` naming
-// the line and the offense) on unknown/duplicate keys or malformed values.
-std::optional<RunRequest> ParseRunRequest(const std::string& text, std::string* error);
+// Parses the `key = value` request text; a RequestError naming the line and
+// the offense on unknown/duplicate keys or malformed values.
+Expected<RunRequest> ParseRunRequest(const std::string& text);
 
 // Applies one `key = value` pair onto `request` with exactly the keys and
 // value validation ParseRunRequest uses (exposed so eastool's flags share
 // the request file's strictness - `--seed 4z2` must be rejected the same
-// way `seed = 4z2` is). False (with `*error` set) on an unknown key, an
-// empty value, or a malformed value.
-bool ApplyRunRequestField(const std::string& key, const std::string& value,
-                          RunRequest* request, std::string* error);
+// way `seed = 4z2` is). Returns the error (no line attribution) on an
+// unknown key, an empty value, or a malformed value; std::nullopt on
+// success.
+std::optional<RequestError> ApplyRunRequestField(const std::string& key,
+                                                 const std::string& value,
+                                                 RunRequest* request);
 
 // Canonical multi-line rendering: set fields only, fixed key order,
 // shortest-round-trip numbers. Parse(Format(r)) == r for any valid r.
@@ -120,10 +138,14 @@ struct ResolvedRequest {
 
 // Resolves `request` against the scenario/policy/governor registries with
 // exactly the semantics eastool's flags always had: scenario first, explicit
-// fields override, defaults fill the rest. std::nullopt (with `*error`
-// diagnosing, unknown names listing the known ones) when the request does
-// not describe a runnable experiment.
-std::optional<ResolvedRequest> ResolveRunRequest(const RunRequest& request, std::string* error);
+// fields override, defaults fill the rest. A RequestError diagnosing the
+// failure (unknown names list the known ones) when the request does not
+// describe a runnable experiment. With a non-null `cache`, scenario specs
+// and the default program library come from the cache instead of being
+// rebuilt - byte-identical results, amortized build cost (the serve-mode
+// warm path).
+Expected<ResolvedRequest> ResolveRunRequest(const RunRequest& request,
+                                            ScenarioCache* cache = nullptr);
 
 // The canned request a registered scenario stands for (scenario = name,
 // everything else inherited).

@@ -1,0 +1,92 @@
+#include "src/api/sink_registry.h"
+
+#include <utility>
+
+namespace eas {
+namespace {
+
+RequestError SinkError(std::string message) {
+  RequestError error;
+  error.code = RequestErrorCode::kBadValue;
+  error.key = "sink";
+  error.message = std::move(message);
+  return error;
+}
+
+}  // namespace
+
+SinkRegistry& SinkRegistry::Global() {
+  static SinkRegistry* registry = [] {
+    auto* r = new SinkRegistry();
+    RegisterBuiltinSinks(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool SinkRegistry::Register(const std::string& kind, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.emplace(kind, std::move(factory)).second;
+}
+
+bool SinkRegistry::Contains(const std::string& kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.find(kind) != factories_.end();
+}
+
+std::vector<std::string> SinkRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [kind, factory] : factories_) {
+    names.push_back(kind);
+  }
+  return names;
+}
+
+Expected<std::unique_ptr<ResultSink>> SinkRegistry::Create(const std::string& spec) const {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    return SinkError("bad sink \"" + spec + "\": want kind:path (e.g. jsonl:out.jsonl)");
+  }
+  const std::string kind = spec.substr(0, colon);
+  const std::string rest = spec.substr(colon + 1);
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(kind);
+    if (it != factories_.end()) {
+      factory = it->second;
+    }
+  }
+  if (!factory) {
+    std::string known;
+    for (const std::string& name : Names()) {
+      known += known.empty() ? name : ", " + name;
+    }
+    RequestError error = SinkError("unknown sink kind \"" + kind + "\" (known: " + known + ")");
+    error.code = RequestErrorCode::kUnknownName;
+    return error;
+  }
+  if (rest.empty()) {
+    return SinkError("bad sink \"" + spec + "\": empty path");
+  }
+  return factory(rest);
+}
+
+void RegisterBuiltinSinks(SinkRegistry& registry) {
+  registry.Register("csv", [](const std::string& rest) {
+    return std::make_unique<CsvSink>(rest, "");
+  });
+  registry.Register("trace", [](const std::string& rest) {
+    return std::make_unique<CsvSink>("", rest);
+  });
+  registry.Register("jsonl", [](const std::string& rest) {
+    return std::make_unique<JsonlSink>(rest);
+  });
+  registry.Register("plot", [](const std::string& rest) {
+    return std::make_unique<AsciiPlotSink>(rest);
+  });
+}
+
+}  // namespace eas

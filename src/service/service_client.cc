@@ -1,0 +1,120 @@
+#include "src/service/service_client.h"
+
+#include <cstdlib>
+
+namespace eas {
+namespace {
+
+RequestError TransportError(std::string message) {
+  RequestError error;
+  error.code = RequestErrorCode::kIo;
+  error.message = std::move(message);
+  return error;
+}
+
+}  // namespace
+
+Expected<ServiceClient> ServiceClient::Connect(const std::string& socket_path) {
+  auto fd = ConnectUnix(socket_path);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  return ServiceClient(*fd);
+}
+
+Expected<SubmitOutcome> ServiceClient::SubmitAndStream(
+    const std::vector<std::string>& request_texts,
+    const std::function<void(const ClientRecord&)>& on_record) {
+  if (request_texts.empty()) {
+    return SubmitOutcome{};
+  }
+  if (request_texts.size() > 1 &&
+      !channel_->WriteLine("batch " + std::to_string(request_texts.size()))) {
+    return TransportError("connection lost while submitting");
+  }
+  for (const std::string& text : request_texts) {
+    if (!channel_->WriteLine("run " + text)) {
+      return TransportError("connection lost while submitting");
+    }
+  }
+
+  SubmitOutcome outcome;
+  std::size_t open_submissions = 0;
+  bool acks_pending = true;
+  std::string line;
+  // Collect `sub` acks (or the group's `err`), then stream `rec` lines
+  // until every admitted submission has reported `ok`.
+  while ((acks_pending || open_submissions > 0) && channel_->ReadLine(&line)) {
+    if (line.rfind("sub ", 0) == 0) {
+      char* end = nullptr;
+      const std::uint64_t id = std::strtoull(line.c_str() + 4, &end, 10);
+      const std::size_t records =
+          end != nullptr ? static_cast<std::size_t>(std::strtoull(end, nullptr, 10)) : 0;
+      outcome.submissions.emplace_back(id, records);
+      ++open_submissions;
+      if (outcome.submissions.size() == request_texts.size()) {
+        acks_pending = false;
+      }
+      continue;
+    }
+    if (line.rfind("rec ", 0) == 0) {
+      ClientRecord record;
+      char* end = nullptr;
+      record.submission = std::strtoull(line.c_str() + 4, &end, 10);
+      record.index = static_cast<std::size_t>(std::strtoull(end, &end, 10));
+      if (end != nullptr && *end == ' ') {
+        ++end;
+      }
+      record.jsonl = std::string(end != nullptr ? end : "");
+      ++outcome.records;
+      if (on_record) {
+        on_record(record);
+      }
+      continue;
+    }
+    if (line.rfind("ok ", 0) == 0) {
+      --open_submissions;
+      continue;
+    }
+    if (line.rfind("err ", 0) == 0) {
+      return RequestErrorFromJson(line.substr(4));
+    }
+    return TransportError("unexpected server message: \"" + line + "\"");
+  }
+  if (acks_pending || open_submissions > 0) {
+    return TransportError("connection lost mid-stream");
+  }
+  return outcome;
+}
+
+Expected<std::string> ServiceClient::QueryStatus() {
+  if (!channel_->WriteLine("status")) {
+    return TransportError("connection lost");
+  }
+  std::string line;
+  if (!channel_->ReadLine(&line)) {
+    return TransportError("connection lost awaiting status");
+  }
+  if (line.rfind("status ", 0) != 0) {
+    if (line.rfind("err ", 0) == 0) {
+      return RequestErrorFromJson(line.substr(4));
+    }
+    return TransportError("unexpected server message: \"" + line + "\"");
+  }
+  return line.substr(7);
+}
+
+Expected<bool> ServiceClient::RequestShutdown() {
+  if (!channel_->WriteLine("shutdown")) {
+    return TransportError("connection lost");
+  }
+  std::string line;
+  while (channel_->ReadLine(&line)) {
+    if (line == "end") {
+      return true;
+    }
+  }
+  return TransportError("connection lost awaiting shutdown ack");
+}
+
+}  // namespace eas

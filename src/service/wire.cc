@@ -1,0 +1,132 @@
+#include "src/service/wire.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/api/result_sink.h"
+
+namespace eas {
+namespace {
+
+// Extracts the string value of `"field": "..."` from a flat JSON object
+// produced by this file (no nested objects, escapes as JsonEscape writes
+// them). Empty when absent.
+std::string StringFieldOf(const std::string& json, const std::string& field) {
+  const std::string needle = "\"" + field + "\": \"";
+  const std::size_t start = json.find(needle);
+  if (start == std::string::npos) {
+    return "";
+  }
+  std::string out;
+  for (std::size_t i = start + needle.size(); i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '\\' && i + 1 < json.size()) {
+      const char next = json[++i];
+      switch (next) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'u':
+          // Only \u00XX controls are ever emitted; decode the low byte.
+          if (i + 4 < json.size()) {
+            out += static_cast<char>(std::strtol(json.substr(i + 3, 2).c_str(), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default:
+          out += next;
+      }
+      continue;
+    }
+    if (c == '"') {
+      break;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RequestErrorToJson(const RequestError& error) {
+  std::string json = "{\"code\": \"";
+  json += RequestErrorCodeName(error.code);
+  json += "\"";
+  if (!error.key.empty()) {
+    json += ", \"key\": \"" + JsonEscape(error.key) + "\"";
+  }
+  if (error.line > 0) {
+    json += ", \"line\": " + std::to_string(error.line);
+  }
+  json += ", \"message\": \"" + JsonEscape(error.message) + "\"";
+  json += ", \"render\": \"" + JsonEscape(error.Render()) + "\"";
+  json += "}";
+  return json;
+}
+
+RequestError RequestErrorFromJson(const std::string& json) {
+  RequestError error;
+  const std::string code = StringFieldOf(json, "code");
+  if (code.empty()) {
+    error.code = RequestErrorCode::kProtocol;
+    error.message = "malformed error payload: " + json;
+    return error;
+  }
+  // Reverse of RequestErrorCodeName; an unrecognized spelling (a newer
+  // server) degrades to kProtocol but keeps the message intact.
+  const std::pair<const char*, RequestErrorCode> kCodes[] = {
+      {"syntax", RequestErrorCode::kSyntax},
+      {"unknown-key", RequestErrorCode::kUnknownKey},
+      {"duplicate-key", RequestErrorCode::kDuplicateKey},
+      {"empty-value", RequestErrorCode::kEmptyValue},
+      {"bad-value", RequestErrorCode::kBadValue},
+      {"unknown-name", RequestErrorCode::kUnknownName},
+      {"queue-full", RequestErrorCode::kQueueFull},
+      {"shutting-down", RequestErrorCode::kShuttingDown},
+      {"protocol", RequestErrorCode::kProtocol},
+      {"io", RequestErrorCode::kIo},
+  };
+  error.code = RequestErrorCode::kProtocol;
+  for (const auto& [name, value] : kCodes) {
+    if (code == name) {
+      error.code = value;
+      break;
+    }
+  }
+  error.key = StringFieldOf(json, "key");
+  error.line = static_cast<std::size_t>(StatusField(json, "line", 0.0));
+  error.message = StringFieldOf(json, "message");
+  return error;
+}
+
+std::string ServiceStatusToJson(const ServiceStatusSnapshot& status) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"queue_capacity\": %zu, \"queued\": %zu, \"in_flight\": %zu, "
+                "\"completed_runs\": %zu, \"completed_submissions\": %zu, "
+                "\"rejected_submissions\": %zu, \"workers\": %zu, \"uptime_s\": %.3f, "
+                "\"runs_per_s\": %.3f, \"scenario_cache_hits\": %zu, "
+                "\"scenario_cache_misses\": %zu}",
+                status.queue_capacity, status.queued, status.in_flight, status.completed_runs,
+                status.completed_submissions, status.rejected_submissions, status.workers,
+                status.uptime_s, status.runs_per_s, status.scenario_cache_hits,
+                status.scenario_cache_misses);
+  return std::string(buffer);
+}
+
+double StatusField(const std::string& json, const std::string& field, double fallback) {
+  const std::string needle = "\"" + field + "\": ";
+  const std::size_t start = json.find(needle);
+  if (start == std::string::npos) {
+    return fallback;
+  }
+  return std::strtod(json.c_str() + start + needle.size(), nullptr);
+}
+
+}  // namespace eas

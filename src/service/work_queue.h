@@ -1,0 +1,91 @@
+// BoundedWorkQueue: the service's admission-controlled job queue.
+//
+// The experiment service (src/service/experiment_service.h) must reject
+// load it cannot hold rather than buffer without bound - a resident daemon
+// that queues arbitrarily is a memory leak with a socket. The queue is a
+// fixed-capacity MPMC buffer with two deliberate properties:
+//
+//   all-or-nothing admission   TryPushBatch admits a whole batch or none of
+//                              it. A submission expands into one job per
+//                              run; admitting half a submission would
+//                              stream half its records and leave the client
+//                              unable to tell backpressure from loss. The
+//                              caller turns a refusal into an explicit
+//                              queue-full error.
+//   drain-on-shutdown          Shutdown() stops admission immediately but
+//                              Pop keeps handing out already-admitted jobs
+//                              until the queue is empty; workers exit only
+//                              then. Accepted work always completes -
+//                              "clean shutdown" means drained, not dropped.
+
+#ifndef SRC_SERVICE_WORK_QUEUE_H_
+#define SRC_SERVICE_WORK_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace eas {
+
+template <typename T>
+class BoundedWorkQueue {
+ public:
+  explicit BoundedWorkQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Admits every job of `batch` (in order) iff the queue has room for all
+  // of them and is not shut down; false otherwise, leaving the queue
+  // untouched.
+  bool TryPushBatch(std::vector<T> batch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ || jobs_.size() + batch.size() > capacity_) {
+      return false;
+    }
+    for (T& job : batch) {
+      jobs_.push_back(std::move(job));
+    }
+    ready_.notify_all();
+    return true;
+  }
+
+  // Blocks until a job is available or the queue is shut down AND empty;
+  // nullopt only in the latter case (shutdown drains, it does not drop).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return !jobs_.empty() || shutdown_; });
+    if (jobs_.empty()) {
+      return std::nullopt;
+    }
+    T job = std::move(jobs_.front());
+    jobs_.pop_front();
+    return job;
+  }
+
+  // Stops admission; blocked Pops return once the backlog drains.
+  void Shutdown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> jobs_;
+  bool shutdown_ = false;
+};
+
+}  // namespace eas
+
+#endif  // SRC_SERVICE_WORK_QUEUE_H_

@@ -212,9 +212,8 @@ TEST(JsonlSinkTest, RecordsCarryMetricsAndAReplayableRequest) {
   const std::string needle = "\"request\": \"";
   const std::size_t start = line.find(needle) + needle.size();
   const std::string request_text = line.substr(start, line.find('"', start) - start);
-  std::string error;
-  const auto parsed = ParseRunRequest(request_text, &error);
-  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto parsed = ParseRunRequest(request_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().Render();
   EXPECT_EQ(*parsed, record.request);
 }
 
@@ -264,9 +263,8 @@ ResolvedRequest QuickRequest(const std::string& name, std::uint64_t runs) {
   request.workload = "hot:2";
   request.duration_s = 2.0;
   request.runs = runs;
-  std::string error;
-  auto resolved = ResolveRunRequest(request, &error);
-  EXPECT_TRUE(resolved.has_value()) << error;
+  auto resolved = ResolveRunRequest(request);
+  EXPECT_TRUE(resolved.ok()) << resolved.error().Render();
   return *resolved;
 }
 

@@ -1,6 +1,8 @@
 // RunRequest: the parse/format round trip (including rejection diagnostics
 // for bad keys and values) and the resolve semantics that make a request
-// file reproduce the equivalent flag-driven run exactly.
+// file reproduce the equivalent flag-driven run exactly. Errors come back
+// as structured RequestErrors; Render() must stay byte-identical to the
+// historical bool-plus-string diagnostics.
 
 #include "src/api/run_request.h"
 
@@ -10,28 +12,36 @@
 #include <limits>
 
 #include "src/sim/scenario.h"
+#include "src/sim/scenario_cache.h"
 
 namespace eas {
 namespace {
 
 RunRequest ParseOk(const std::string& text) {
-  std::string error;
-  const auto request = ParseRunRequest(text, &error);
-  EXPECT_TRUE(request.has_value()) << error;
-  return request.value_or(RunRequest{});
+  const auto request = ParseRunRequest(text);
+  EXPECT_TRUE(request.ok()) << (request.ok() ? "" : request.error().Render());
+  return request.ok() ? *request : RunRequest{};
 }
 
-std::string ParseError(const std::string& text) {
-  std::string error;
-  const auto request = ParseRunRequest(text, &error);
-  EXPECT_FALSE(request.has_value()) << "parsed: " << FormatRunRequest(*request);
-  return error;
+RequestError ParseErr(const std::string& text) {
+  const auto request = ParseRunRequest(text);
+  EXPECT_FALSE(request.ok()) << "parsed: " << FormatRunRequest(*request);
+  return request.ok() ? RequestError{} : request.error();
+}
+
+std::string ParseError(const std::string& text) { return ParseErr(text).Render(); }
+
+RequestError ResolveErr(const RunRequest& request) {
+  const auto resolved = ResolveRunRequest(request);
+  EXPECT_FALSE(resolved.ok());
+  return resolved.ok() ? RequestError{} : resolved.error();
 }
 
 TEST(RunRequestParseTest, ParsesEveryKey) {
   const RunRequest request = ParseOk(
       "# a comment\n"
       "name = my-run\n"
+      "tag = client-7\n"
       "scenario = paper-mixed\n"
       "topology = 2:4:2\n"
       "policy = energy_aware\n"
@@ -45,6 +55,7 @@ TEST(RunRequestParseTest, ParsesEveryKey) {
       "seed = 7\n"
       "runs = 3\n");
   EXPECT_EQ(request.name, "my-run");
+  EXPECT_EQ(request.tag, "client-7");
   EXPECT_EQ(request.scenario, "paper-mixed");
   EXPECT_EQ(request.topology, "2:4:2");
   EXPECT_EQ(request.policy, "energy_aware");
@@ -77,6 +88,41 @@ TEST(RunRequestParseTest, RejectsUnknownKeyNamingIt) {
   EXPECT_NE(error.find("line 1"), std::string::npos) << error;
   EXPECT_NE(error.find("unknown key \"polcy\""), std::string::npos) << error;
   EXPECT_NE(error.find("policy"), std::string::npos) << error;  // lists the known keys
+}
+
+TEST(RunRequestParseTest, ErrorsCarryCodeKeyAndLine) {
+  // The structured triple the daemon serializes: what kind of rejection,
+  // which key, which line - alongside the unchanged legacy rendering.
+  const RequestError unknown = ParseErr("polcy = energy_aware\n");
+  EXPECT_EQ(unknown.code, RequestErrorCode::kUnknownKey);
+  EXPECT_EQ(unknown.key, "polcy");
+  EXPECT_EQ(unknown.line, 1u);
+  EXPECT_EQ(unknown.Render(), "line 1: " + unknown.message);
+
+  const RequestError bad = ParseErr("scenario = a\nmax-power = x\n");
+  EXPECT_EQ(bad.code, RequestErrorCode::kBadValue);
+  EXPECT_EQ(bad.key, "max-power");
+  EXPECT_EQ(bad.line, 2u);
+
+  const RequestError duplicate = ParseErr("seed = 1\nseed = 2\n");
+  EXPECT_EQ(duplicate.code, RequestErrorCode::kDuplicateKey);
+  EXPECT_EQ(duplicate.key, "seed");
+  EXPECT_EQ(duplicate.line, 2u);
+
+  const RequestError syntax = ParseErr("just words\n");
+  EXPECT_EQ(syntax.code, RequestErrorCode::kSyntax);
+  EXPECT_TRUE(syntax.key.empty());
+
+  EXPECT_EQ(ParseErr("policy =\n").code, RequestErrorCode::kEmptyValue);
+
+  // Resolve-time errors carry the key but no line (nothing was parsed).
+  RunRequest request;
+  request.scenario = "no-such-scenario";
+  const RequestError resolve = ResolveErr(request);
+  EXPECT_EQ(resolve.code, RequestErrorCode::kUnknownName);
+  EXPECT_EQ(resolve.key, "scenario");
+  EXPECT_EQ(resolve.line, 0u);
+  EXPECT_EQ(resolve.Render(), resolve.message);
 }
 
 TEST(RunRequestParseTest, RejectsBadValuesNamingLineAndKey) {
@@ -118,19 +164,29 @@ TEST(RunRequestApplyFieldTest, SharesTheParserValidation) {
   // The one-pair entry point eastool's flags use: same keys, same value
   // strictness as the file parser.
   RunRequest request;
-  std::string error;
-  EXPECT_TRUE(ApplyRunRequestField("seed", "7", &request, &error)) << error;
+  auto apply = [&request](const char* key, const char* value) {
+    return ApplyRunRequestField(key, value, &request);
+  };
+  EXPECT_FALSE(apply("seed", "7").has_value());
   EXPECT_EQ(request.seed, 7u);
-  EXPECT_TRUE(ApplyRunRequestField("policy", "load_only", &request, &error)) << error;
+  EXPECT_FALSE(apply("policy", "load_only").has_value());
+  EXPECT_FALSE(apply("tag", "sweep-a").has_value());
+  EXPECT_EQ(request.tag, "sweep-a");
 
-  EXPECT_FALSE(ApplyRunRequestField("seed", "4z2", &request, &error));
-  EXPECT_NE(error.find("bad value for seed"), std::string::npos) << error;
-  EXPECT_FALSE(ApplyRunRequestField("duration-s", "fast", &request, &error));
-  EXPECT_NE(error.find("bad value for duration-s"), std::string::npos) << error;
-  EXPECT_FALSE(ApplyRunRequestField("polcy", "eas", &request, &error));
-  EXPECT_NE(error.find("unknown key"), std::string::npos) << error;
-  EXPECT_FALSE(ApplyRunRequestField("scenario", "", &request, &error));
-  EXPECT_NE(error.find("empty value"), std::string::npos) << error;
+  auto error = apply("seed", "4z2");
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->message.find("bad value for seed"), std::string::npos) << error->message;
+  EXPECT_EQ(error->code, RequestErrorCode::kBadValue);
+  error = apply("duration-s", "fast");
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->message.find("bad value for duration-s"), std::string::npos);
+  error = apply("polcy", "eas");
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->message.find("unknown key"), std::string::npos);
+  error = apply("scenario", "");
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->message.find("empty value"), std::string::npos);
+  EXPECT_EQ(error->code, RequestErrorCode::kEmptyValue);
   EXPECT_EQ(request.seed, 7u);  // failed applies leave the request alone
 }
 
@@ -139,29 +195,32 @@ TEST(RunRequestResolveTest, RejectsValuesTheTextFormatCannotCarry) {
   // that is what makes --print-request files and JSONL-embedded requests
   // exact reproduction recipes - so values with comment/separator
   // characters or edge whitespace are rejected up front.
-  std::string error;
   RunRequest request;
   request.name = "warm-up #3";
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
-  EXPECT_NE(error.find("bad name"), std::string::npos) << error;
+  EXPECT_NE(ResolveErr(request).Render().find("bad name"), std::string::npos);
 
   request = RunRequest{};
   request.workload = "trace:/data/run #1.csv";
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
-  EXPECT_NE(error.find("bad workload"), std::string::npos) << error;
+  EXPECT_NE(ResolveErr(request).Render().find("bad workload"), std::string::npos);
 
   request = RunRequest{};
   request.name = "a;b";
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_FALSE(ResolveRunRequest(request).ok());
 
   request = RunRequest{};
   request.name = " padded ";
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  EXPECT_FALSE(ResolveRunRequest(request).ok());
+
+  // The tag is carried by the same text format, so the same rules apply.
+  request = RunRequest{};
+  request.tag = "demo;run";
+  EXPECT_NE(ResolveErr(request).Render().find("bad tag"), std::string::npos);
 }
 
 TEST(RunRequestFormatTest, FormatParseIsIdentity) {
   RunRequest request;
   request.name = "probe";
+  request.tag = "lane-2";
   request.topology = "1:2:1";
   request.workload = "hot:4";
   request.policy = "load_only";
@@ -186,15 +245,28 @@ TEST(RunRequestFormatTest, FormatOfParseIsAFixedPoint) {
   EXPECT_EQ(canonical, "policy = energy_aware\nduration-s = 60\nseed = 5\nruns = 2\n");
 }
 
+TEST(RunRequestFormatTest, UntaggedRequestsFormatWithoutTheTagKey) {
+  // The tag key is strictly additive: requests that do not use it must
+  // produce the exact pre-tag bytes (and an empty tag is "not using it").
+  RunRequest request;
+  request.name = "probe";
+  request.seed = 11;
+  EXPECT_EQ(FormatRunRequest(request), "name = probe\nseed = 11\n");
+  EXPECT_EQ(FormatRunRequestLine(request), "name = probe; seed = 11");
+
+  request.tag = "lane-1";
+  EXPECT_EQ(FormatRunRequest(request), "name = probe\ntag = lane-1\nseed = 11\n");
+  EXPECT_EQ(ParseOk(FormatRunRequest(request)), request);
+}
+
 TEST(RunRequestFormatTest, DefaultRequestFormatsEmpty) {
   EXPECT_EQ(FormatRunRequest(RunRequest{}), "");
   EXPECT_EQ(ParseOk(""), RunRequest{});
 }
 
 TEST(RunRequestResolveTest, DefaultsMatchTheHistoricalCli) {
-  std::string error;
-  const auto resolved = ResolveRunRequest(RunRequest{}, &error);
-  ASSERT_TRUE(resolved.has_value()) << error;
+  const auto resolved = ResolveRunRequest(RunRequest{});
+  ASSERT_TRUE(resolved.ok()) << resolved.error().Render();
   ASSERT_EQ(resolved->specs.size(), 1u);
   const ExperimentSpec& spec = resolved->specs[0];
   EXPECT_EQ(spec.name, "cli");
@@ -214,9 +286,8 @@ TEST(RunRequestResolveTest, DefaultsMatchTheHistoricalCli) {
 
 TEST(RunRequestResolveTest, ScenarioFieldsInheritUnlessOverridden) {
   // paper-hot-task: 40 W cap, throttling on, 4 bitcnts, task tracing.
-  std::string error;
-  const auto inherited = ResolveRunRequest(RunRequestForScenario("paper-hot-task"), &error);
-  ASSERT_TRUE(inherited.has_value()) << error;
+  const auto inherited = ResolveRunRequest(RunRequestForScenario("paper-hot-task"));
+  ASSERT_TRUE(inherited.ok()) << inherited.error().Render();
   EXPECT_TRUE(inherited->specs[0].config.throttling_enabled);
   EXPECT_EQ(inherited->specs[0].config.explicit_max_power_physical, 40.0);
   EXPECT_EQ(inherited->specs[0].workload.size(), 4u);
@@ -226,8 +297,8 @@ TEST(RunRequestResolveTest, ScenarioFieldsInheritUnlessOverridden) {
   with_overrides.throttle = false;
   with_overrides.seed = 99;
   with_overrides.duration_s = 10.0;
-  const auto overridden = ResolveRunRequest(with_overrides, &error);
-  ASSERT_TRUE(overridden.has_value()) << error;
+  const auto overridden = ResolveRunRequest(with_overrides);
+  ASSERT_TRUE(overridden.ok()) << overridden.error().Render();
   EXPECT_FALSE(overridden->specs[0].config.throttling_enabled);
   EXPECT_EQ(overridden->specs[0].config.seed, 99u);
   EXPECT_EQ(overridden->specs[0].options.duration_ticks, 10'000);
@@ -237,36 +308,34 @@ TEST(RunRequestResolveTest, ScenarioFieldsInheritUnlessOverridden) {
 }
 
 TEST(RunRequestResolveTest, SkipAheadFlowsIntoTheMachineConfig) {
-  std::string error;
-  const auto defaulted = ResolveRunRequest(RunRequest{}, &error);
-  ASSERT_TRUE(defaulted.has_value()) << error;
+  const auto defaulted = ResolveRunRequest(RunRequest{});
+  ASSERT_TRUE(defaulted.ok()) << defaulted.error().Render();
   EXPECT_TRUE(defaulted->specs[0].config.skip_ahead);
 
   RunRequest request;
   request.skip_ahead = false;
-  const auto disabled = ResolveRunRequest(request, &error);
-  ASSERT_TRUE(disabled.has_value()) << error;
+  const auto disabled = ResolveRunRequest(request);
+  ASSERT_TRUE(disabled.ok()) << disabled.error().Render();
   EXPECT_FALSE(disabled->specs[0].config.skip_ahead);
 }
 
 TEST(RunRequestResolveTest, IntraThreadsFlowsIntoTheMachineConfig) {
   // Unset: the historical interleaved loop (0). Explicit: the sharded
   // pipeline with that worker count, including over a scenario.
-  std::string error;
-  const auto defaulted = ResolveRunRequest(RunRequest{}, &error);
-  ASSERT_TRUE(defaulted.has_value()) << error;
+  const auto defaulted = ResolveRunRequest(RunRequest{});
+  ASSERT_TRUE(defaulted.ok()) << defaulted.error().Render();
   EXPECT_EQ(defaulted->specs[0].config.intra_run_threads, 0u);
 
   RunRequest request;
   request.intra_threads = 3;
-  const auto sharded = ResolveRunRequest(request, &error);
-  ASSERT_TRUE(sharded.has_value()) << error;
+  const auto sharded = ResolveRunRequest(request);
+  ASSERT_TRUE(sharded.ok()) << sharded.error().Render();
   EXPECT_EQ(sharded->specs[0].config.intra_run_threads, 3u);
 
   RunRequest scenario = RunRequestForScenario("datacenter-consolidation");
   scenario.intra_threads = 2;
-  const auto over_scenario = ResolveRunRequest(scenario, &error);
-  ASSERT_TRUE(over_scenario.has_value()) << error;
+  const auto over_scenario = ResolveRunRequest(scenario);
+  ASSERT_TRUE(over_scenario.ok()) << over_scenario.error().Render();
   EXPECT_EQ(over_scenario->specs[0].config.intra_run_threads, 2u);
 }
 
@@ -277,17 +346,16 @@ TEST(RunRequestResolveTest, DeepTopologyRoundTripsAndResolves) {
   const RunRequest request = ParseOk(text);
   EXPECT_EQ(FormatRunRequest(ParseOk(FormatRunRequest(request))), FormatRunRequest(request));
 
-  std::string error;
-  const auto resolved = ResolveRunRequest(request, &error);
-  ASSERT_TRUE(resolved.has_value()) << error;
+  const auto resolved = ResolveRunRequest(request);
+  ASSERT_TRUE(resolved.ok()) << resolved.error().Render();
   EXPECT_EQ(resolved->specs[0].config.topology.num_physical(), 64u);
   EXPECT_EQ(resolved->specs[0].config.topology.num_logical(), 128u);
 
   // Named levels round-trip too.
   RunRequest named;
   named.topology = "rack=2:node=2:package=2:smt=2";
-  const auto named_resolved = ResolveRunRequest(named, &error);
-  ASSERT_TRUE(named_resolved.has_value()) << error;
+  const auto named_resolved = ResolveRunRequest(named);
+  ASSERT_TRUE(named_resolved.ok()) << named_resolved.error().Render();
   EXPECT_EQ(named_resolved->specs[0].config.topology.num_logical(), 16u);
   EXPECT_EQ(ParseOk(FormatRunRequest(named)), named);
 }
@@ -295,9 +363,8 @@ TEST(RunRequestResolveTest, DeepTopologyRoundTripsAndResolves) {
 TEST(RunRequestResolveTest, PolicyAliasesNormalize) {
   RunRequest request;
   request.policy = "temp-only";
-  std::string error;
-  const auto resolved = ResolveRunRequest(request, &error);
-  ASSERT_TRUE(resolved.has_value()) << error;
+  const auto resolved = ResolveRunRequest(request);
+  ASSERT_TRUE(resolved.ok()) << resolved.error().Render();
   EXPECT_EQ(resolved->policy, "temperature_only");
 }
 
@@ -305,9 +372,8 @@ TEST(RunRequestResolveTest, RunsExpandIntoASeedSweep) {
   RunRequest request;
   request.seed = 10;
   request.runs = 3;
-  std::string error;
-  const auto resolved = ResolveRunRequest(request, &error);
-  ASSERT_TRUE(resolved.has_value()) << error;
+  const auto resolved = ResolveRunRequest(request);
+  ASSERT_TRUE(resolved.ok()) << resolved.error().Render();
   ASSERT_EQ(resolved->specs.size(), 3u);
   EXPECT_EQ(resolved->specs[0].config.seed, 10u);
   EXPECT_EQ(resolved->specs[2].config.seed, 12u);
@@ -315,76 +381,91 @@ TEST(RunRequestResolveTest, RunsExpandIntoASeedSweep) {
 }
 
 TEST(RunRequestResolveTest, RejectionsDiagnose) {
-  std::string error;
   RunRequest request;
 
   request.scenario = "no-such-scenario";
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
+  std::string error = ResolveErr(request).Render();
   EXPECT_NE(error.find("unknown scenario"), std::string::npos) << error;
   EXPECT_NE(error.find("paper-mixed"), std::string::npos) << error;  // lists known
 
   request = RunRequest{};
   request.scenario = "paper-mixed";
   request.workload = "hot:2";
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
-  EXPECT_NE(error.find("cannot override"), std::string::npos) << error;
+  EXPECT_NE(ResolveErr(request).Render().find("cannot override"), std::string::npos);
 
   request = RunRequest{};
   request.topology = "junk:0:x";
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
-  EXPECT_NE(error.find("bad topology"), std::string::npos) << error;
+  EXPECT_NE(ResolveErr(request).Render().find("bad topology"), std::string::npos);
 
   request = RunRequest{};
   request.policy = "no_such_policy";
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
-  EXPECT_NE(error.find("unknown policy"), std::string::npos) << error;
+  EXPECT_NE(ResolveErr(request).Render().find("unknown policy"), std::string::npos);
 
   request = RunRequest{};
   request.governor = "no-such-governor";
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
-  EXPECT_NE(error.find("unknown governor"), std::string::npos) << error;
+  EXPECT_NE(ResolveErr(request).Render().find("unknown governor"), std::string::npos);
 
   request = RunRequest{};
   request.workload = "bogus:3";
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
-  EXPECT_NE(error.find("bad workload"), std::string::npos) << error;
+  EXPECT_NE(ResolveErr(request).Render().find("bad workload"), std::string::npos);
 
   request = RunRequest{};
   request.duration_s = 0.0;
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
-  EXPECT_NE(error.find("bad duration-s"), std::string::npos) << error;
+  EXPECT_NE(ResolveErr(request).Render().find("bad duration-s"), std::string::npos);
 
   // Programmatically built requests bypass the parser's finiteness guard;
   // resolve must repeat it.
   request = RunRequest{};
   request.duration_s = std::nan("");
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
-  EXPECT_NE(error.find("bad duration-s"), std::string::npos) << error;
+  EXPECT_NE(ResolveErr(request).Render().find("bad duration-s"), std::string::npos);
 
   request = RunRequest{};
   request.max_power = std::numeric_limits<double>::infinity();
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
-  EXPECT_NE(error.find("bad max-power"), std::string::npos) << error;
+  EXPECT_NE(ResolveErr(request).Render().find("bad max-power"), std::string::npos);
 
   request = RunRequest{};
   request.temp_limit = std::nan("");
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
-  EXPECT_NE(error.find("bad temp-limit"), std::string::npos) << error;
+  EXPECT_NE(ResolveErr(request).Render().find("bad temp-limit"), std::string::npos);
 
   request = RunRequest{};
   request.runs = 0;
-  EXPECT_FALSE(ResolveRunRequest(request, &error).has_value());
-  EXPECT_NE(error.find("bad runs"), std::string::npos) << error;
+  EXPECT_NE(ResolveErr(request).Render().find("bad runs"), std::string::npos);
 }
 
 TEST(RunRequestResolveTest, CannedRequestsCoverTheCatalogue) {
   const std::vector<RunRequest> canned = CannedScenarioRequests();
   EXPECT_EQ(canned.size(), ScenarioRegistry::Global().Names().size());
   for (const RunRequest& request : canned) {
-    std::string error;
-    EXPECT_TRUE(ResolveRunRequest(request, &error).has_value())
-        << request.scenario << ": " << error;
+    const auto resolved = ResolveRunRequest(request);
+    EXPECT_TRUE(resolved.ok())
+        << request.scenario << ": " << (resolved.ok() ? "" : resolved.error().Render());
   }
+}
+
+TEST(RunRequestResolveTest, CachedResolveMatchesUncached) {
+  // The warm-service path: scenario specs and the default library come from
+  // a ScenarioCache. The resolved output must be indistinguishable.
+  ScenarioCache cache;
+  RunRequest scenario = RunRequestForScenario("paper-hot-task");
+  const auto cold = ResolveRunRequest(scenario);
+  const auto warm1 = ResolveRunRequest(scenario, &cache);
+  const auto warm2 = ResolveRunRequest(scenario, &cache);
+  ASSERT_TRUE(cold.ok() && warm1.ok() && warm2.ok());
+  EXPECT_EQ(cold->specs[0].name, warm2->specs[0].name);
+  EXPECT_EQ(cold->specs[0].workload.size(), warm2->specs[0].workload.size());
+  EXPECT_EQ(cold->specs[0].config.explicit_max_power_physical,
+            warm2->specs[0].config.explicit_max_power_physical);
+  const ScenarioCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.scenario_misses, 1u);  // built once...
+  EXPECT_EQ(stats.scenario_hits, 1u);    // ...served from cache after
+
+  RunRequest plain;
+  plain.workload = "mixed:3";
+  const auto cold_plain = ResolveRunRequest(plain);
+  const auto warm_plain = ResolveRunRequest(plain, &cache);
+  ASSERT_TRUE(cold_plain.ok() && warm_plain.ok());
+  EXPECT_EQ(cold_plain->specs[0].workload.size(), warm_plain->specs[0].workload.size());
+  EXPECT_EQ(cache.stats().library_misses, 1u);
 }
 
 }  // namespace

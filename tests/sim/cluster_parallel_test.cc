@@ -76,13 +76,10 @@ TEST(ClusterParallelTest, ShardedMatchesInterleavedWhenNoTaskCompletes) {
 // pipeline must stay worker-count independent even when every tick runs
 // the sequential lifecycle phase.
 ExperimentSpec DeepNarrowSpec(std::size_t intra_threads) {
-  std::string error;
   auto resolved = ResolveRunRequest(
       *ParseRunRequest("topology = 2:2:2:2:2; workload = short:24; duration-s = 6; seed = 11; "
-                       "intra-threads = " + std::to_string(intra_threads),
-                       &error),
-      &error);
-  EXPECT_TRUE(resolved.has_value()) << error;
+                       "intra-threads = " + std::to_string(intra_threads)));
+  EXPECT_TRUE(resolved.ok()) << resolved.error().Render();
   ExperimentSpec spec = resolved->specs.front();
   spec.config.estimator_weights = EnergyModel::Default().weights();
   return spec;
@@ -105,14 +102,11 @@ TEST(ClusterParallelTest, ShardedDeterministicUnderTaskLifecycle) {
 TEST(ClusterParallelTest, ShardedRunsOnSinglePackageMachine) {
   // Degenerate width: one package, SMT only. The pool clamps to one worker
   // and the pipeline must still run (and agree with itself at any count).
-  std::string error;
-  auto make = [&error](std::size_t workers) {
+  auto make = [](std::size_t workers) {
     auto resolved = ResolveRunRequest(
         *ParseRunRequest("topology = 1:1:2; workload = mixed:3; duration-s = 4; seed = 3; "
-                         "intra-threads = " + std::to_string(workers),
-                         &error),
-        &error);
-    EXPECT_TRUE(resolved.has_value()) << error;
+                         "intra-threads = " + std::to_string(workers)));
+    EXPECT_TRUE(resolved.ok()) << resolved.error().Render();
     ExperimentSpec spec = resolved->specs.front();
     spec.config.estimator_weights = EnergyModel::Default().weights();
     Experiment experiment(spec.config, spec.options);

@@ -2,7 +2,7 @@
 """Unit tests for tools/bench_compare.py - the benchmark regression gate.
 
 Covers every comparator (tick_hot_path, sweep_scaling, governor_sweep,
-cluster_scale) on passing and regressing inputs, the asymmetric row-set
+cluster_scale, serve_throughput) on passing and regressing inputs, the asymmetric row-set
 rule (baseline row missing fails, new current row is warned and skipped),
 the config-mismatch refusal, the JSONL loader, and main()'s bench-name
 pairing check plus the "gate gated nothing" guard.
@@ -76,6 +76,24 @@ def cluster_scale_doc(rate=100.0):
             {"name": "tick_512", "ticks_per_second": rate, "identical": True},
             {"name": "balance_1024", "passes_per_second": rate * 10},
             {"name": "balance_scaling", "sublinear": True},
+        ],
+    }
+
+
+def serve_throughput_doc(rate=50.0, identical=True):
+    return {
+        "bench": "serve_throughput",
+        "requests": 24,
+        "duration_ms": 2000,
+        "threads": 4,
+        "build_type": "release",
+        "rows": [
+            {"name": "warm_service", "seconds": 0.5, "requests_per_second": rate,
+             "identical": True},
+            {"name": "warm_socket", "seconds": 0.5, "requests_per_second": rate * 0.95,
+             "identical": identical},
+            {"name": "fork_per_run", "seconds": 2.0, "requests_per_second": rate / 4,
+             "identical": identical},
         ],
     }
 
@@ -216,6 +234,40 @@ class ClusterScaleTest(unittest.TestCase):
         current["intra_threads"] = 2
         gate = run_gate(bench_compare.compare_cluster_scale, cluster_scale_doc(), current)
         self.assertTrue(any("config mismatch on 'intra_threads'" in f for f in gate.failures))
+
+
+class ServeThroughputTest(unittest.TestCase):
+    def test_identical_runs_pass(self):
+        gate = run_gate(bench_compare.compare_serve_throughput,
+                        serve_throughput_doc(), serve_throughput_doc())
+        self.assertEqual(gate.failures, [])
+        self.assertEqual(gate.rates_compared, 3)
+
+    def test_regression_fails(self):
+        gate = run_gate(bench_compare.compare_serve_throughput,
+                        serve_throughput_doc(rate=50.0), serve_throughput_doc(rate=20.0))
+        self.assertTrue(
+            any("requests_per_second[warm_service]" in f for f in gate.failures))
+
+    def test_lost_byte_identity_fails(self):
+        gate = run_gate(bench_compare.compare_serve_throughput,
+                        serve_throughput_doc(identical=True),
+                        serve_throughput_doc(identical=False))
+        self.assertTrue(any("byte-identical" in f for f in gate.failures))
+
+    def test_missing_fork_row_fails(self):
+        current = serve_throughput_doc()
+        current["rows"] = current["rows"][:2]  # fork_per_run gone
+        gate = run_gate(bench_compare.compare_serve_throughput,
+                        serve_throughput_doc(), current)
+        self.assertTrue(any("fork_per_run" in f for f in gate.failures))
+
+    def test_config_mismatch_fails(self):
+        current = serve_throughput_doc()
+        current["requests"] = 8
+        gate = run_gate(bench_compare.compare_serve_throughput,
+                        serve_throughput_doc(), current)
+        self.assertTrue(any("config mismatch on 'requests'" in f for f in gate.failures))
 
 
 class GateTest(unittest.TestCase):

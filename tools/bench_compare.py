@@ -25,6 +25,10 @@ environment variable - CI runners are noisy, calibrate there, not here):
   cluster_scale:  ticks/s per tick-pipeline row and balance passes/s per
                   balance row at 1k CPUs, plus the worker-count bit-identity
                   and sublinear-balance invariants.
+  serve_throughput: requests/s per execution-path row (warm in-process
+                  service, warm socket daemon, fork-per-run eastool), plus
+                  every row's byte-identity cross-check against the offline
+                  JSONL replay.
 
 Row sets compare asymmetrically: a baseline row missing from the current run
 fails (a gated metric disappeared), while a current-run row absent from the
@@ -235,11 +239,38 @@ def compare_cluster_scale(baseline, current, gate):
             gate.invariant("balance per-pass cost sublinear", row.get("sublinear", False))
 
 
+def compare_serve_throughput(baseline, current, gate):
+    # Requests/s through the resident service (in-process and over the
+    # socket) vs fork-per-run eastool. All three are wall-clock, so the run
+    # shape must match; what gates beyond the rates is the byte-identity
+    # cross-check every row carries - a "faster" serve path that streams
+    # different bytes than the offline replay is a correctness bug, not a
+    # win.
+    for field in ("requests", "duration_ms", "threads", "build_type"):
+        gate.config(field, baseline.get(field), current.get(field))
+    base_rows = {row["name"]: row for row in baseline.get("rows", [])}
+    gate.rows(base_rows, [row["name"] for row in current.get("rows", [])])
+    for row in current.get("rows", []):
+        name = row["name"]
+        base = base_rows.get(name)
+        if base is None:
+            continue  # warned and skipped via the rows check
+        gate.rate(
+            f"requests_per_second[{name}]",
+            base["requests_per_second"],
+            row["requests_per_second"],
+        )
+        gate.invariant(
+            f"byte-identical records[{name}]", row.get("identical", False)
+        )
+
+
 COMPARATORS = {
     "tick_hot_path": compare_tick_hot_path,
     "sweep_scaling": compare_sweep_scaling,
     "governor_sweep": compare_governor_sweep,
     "cluster_scale": compare_cluster_scale,
+    "serve_throughput": compare_serve_throughput,
 }
 
 

@@ -11,35 +11,68 @@
 //   eastool --request hot.req --summary-csv s.csv
 //   eastool --batch sweep.req --jsonl results.jsonl
 //
+//   eastool serve --socket /tmp/eas.sock             # resident service
+//   eastool submit --socket /tmp/eas.sock --batch sweep.req --jsonl out.jsonl
+//   eastool status --socket /tmp/eas.sock
+//   eastool shutdown --socket /tmp/eas.sock
+//
 // Every run is described by a RunRequest (src/api/run_request.h): the flags
 // below assemble one, --request reads one from a `key = value` file, and
 // --print-request writes the canonical file for the current flags - so any
 // flag invocation can be captured as data and replayed exactly. --batch
 // runs one request per line of a file, fanned across the parallel
 // ExperimentRunner together. Results stream through ResultSinks: the
-// summary/trace CSVs, JSONL, and an ASCII thermal plot.
+// summary/trace CSVs, JSONL, an ASCII thermal plot, or any --sink
+// kind:path spec the SinkRegistry resolves.
+//
+// The serve/submit/status/shutdown verbs talk the line protocol of
+// src/service/wire.h over a Unix socket; `submit` records are byte-for-byte
+// what the same request writes through --jsonl offline.
 
 #include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/api/result_sink.h"
 #include "src/api/run_session.h"
+#include "src/api/sink_registry.h"
 #include "src/base/flags.h"
 #include "src/freq/governor_registry.h"
+#include "src/service/experiment_server.h"
+#include "src/service/service_client.h"
 #include "src/sim/scenario.h"
 
 namespace {
 
 void PrintUsage() {
   std::printf(
-      "usage: eastool [flags]\n"
+      "usage: eastool [verb] [flags]\n"
+      "verbs (default: run the request offline, in this process):\n"
+      "  serve               run the resident experiment service: listen on\n"
+      "                      --socket, admit requests into a bounded queue\n"
+      "                      (--queue-depth), execute on a persistent worker\n"
+      "                      pool (--threads), stream records back per client\n"
+      "  submit              send the current request(s) (flags / --request /\n"
+      "                      --batch) to a running service and stream results;\n"
+      "                      --jsonl writes records byte-identical to the same\n"
+      "                      requests run offline\n"
+      "  status              print the service's status JSON (queue depth,\n"
+      "                      in-flight and completed runs, runs/s, uptime)\n"
+      "  shutdown            drain the service and stop it\n"
+      "flags:\n"
+      "  --socket PATH       Unix socket the service listens on / clients dial\n"
+      "  --queue-depth N     serve: job slots in the admission queue (default 64;\n"
+      "                      a submission needing more free slots is rejected\n"
+      "                      whole with queue-full)\n"
       "  --list-scenarios    list registered scenarios and exit\n"
+      "  --list-sinks        list registered sink kinds and exit\n"
       "  --scenario NAME     run a registered scenario (flags below override it)\n"
       "  --topology SPEC     colon-separated level widths, outermost level first,\n"
       "                      last level = SMT threads per package (default 2:4:1,\n"
@@ -59,6 +92,8 @@ void PrintUsage() {
       "  --duration-s SEC    simulated seconds (default 120)\n"
       "  --runs N            expand into an N-seed sweep (default 1)\n"
       "  --seed N            experiment seed (default 42)\n"
+      "  --tag LABEL         correlation tag echoed into every record (serve\n"
+      "                      clients demux on it; empty = untagged)\n"
       "  --max-power W       explicit per-package power limit\n"
       "  --temp-limit C      derive per-package limits from cooling (default 38)\n"
       "  --throttle          enforce thermal throttling\n"
@@ -77,31 +112,35 @@ void PrintUsage() {
       "  --print-request     print the canonical request file for the current\n"
       "                      flags and exit (replay it with --request); with\n"
       "                      --batch, the canonical batch file (one per line)\n"
-      "  --threads N         runner threads, 0 = hardware (default 0)\n"
+      "  --threads N         runner/service worker threads, 0 = hardware\n"
+      "                      (default 0)\n"
       "  --trace-csv FILE    write each run's per-CPU thermal power trace: run 0\n"
       "                      to FILE, run K of a --runs/--batch sweep to FILE.runK\n"
       "  --summary-csv FILE  write the run summary: a single run keeps the\n"
       "                      key,value format; a sweep writes a table with one\n"
       "                      row per run (columns run,name,seed,<metrics>)\n"
       "  --jsonl FILE        write one JSON object per run (metrics + the\n"
-      "                      request that reproduces it)\n"
+      "                      request that reproduces it); FILE '-' = stdout\n"
+      "  --sink SPEC         add a sink by registry spec: csv:PATH | trace:PATH |\n"
+      "                      jsonl:PATH | plot:PATH (PATH '-' = stdout)\n"
       "  --plot              print an ASCII thermal-power plot per run\n");
 }
 
 constexpr const char* kKnownFlags[] = {
-    "help",       "list-scenarios", "list-governors", "scenario",    "topology",
-    "policy",     "workload",       "governor",       "duration-s",  "runs",
-    "seed",       "request",        "batch",          "print-request", "threads",
-    "trace-csv",  "summary-csv",    "jsonl",          "plot",        "max-power",
-    "temp-limit", "throttle",       "no-skip-ahead",  "intra-threads"};
+    "help",       "list-scenarios", "list-governors", "list-sinks",  "scenario",
+    "topology",   "policy",         "workload",       "governor",    "duration-s",
+    "runs",       "seed",           "tag",            "request",     "batch",
+    "print-request", "threads",     "trace-csv",      "summary-csv", "jsonl",
+    "sink",       "plot",           "max-power",      "temp-limit",  "throttle",
+    "no-skip-ahead", "intra-threads", "socket",       "queue-depth"};
 
 // The flags that shape the request itself (as opposed to execution/output);
 // rejected with --batch, where the batch file is the single source of truth.
 constexpr const char* kRequestFlags[] = {"scenario",   "topology",   "policy",
                                          "workload",   "governor",   "duration-s",
-                                         "runs",       "seed",       "max-power",
-                                         "temp-limit", "throttle",   "no-skip-ahead",
-                                         "intra-threads", "request"};
+                                         "runs",       "seed",       "tag",
+                                         "max-power",  "temp-limit", "throttle",
+                                         "no-skip-ahead", "intra-threads", "request"};
 
 bool ReadFileToString(const std::string& path, std::string* out) {
   std::ifstream stream(path, std::ios::binary);
@@ -123,13 +162,12 @@ bool ReadFileToString(const std::string& path, std::string* out) {
 bool ApplyFlagOverrides(const eas::FlagParser& flags, eas::RunRequest* request) {
   for (const char* key : {"scenario", "topology", "policy", "workload", "governor",
                           "duration-s", "max-power", "temp-limit", "intra-threads",
-                          "seed", "runs"}) {
+                          "seed", "runs", "tag"}) {
     if (!flags.Has(key)) {
       continue;
     }
-    std::string error;
-    if (!eas::ApplyRunRequestField(key, flags.GetString(key), request, &error)) {
-      std::fprintf(stderr, "--%s: %s\n", key, error.c_str());
+    if (auto error = eas::ApplyRunRequestField(key, flags.GetString(key), request)) {
+      std::fprintf(stderr, "--%s: %s\n", key, error->Render().c_str());
       return false;
     }
   }
@@ -143,6 +181,80 @@ bool ApplyFlagOverrides(const eas::FlagParser& flags, eas::RunRequest* request) 
   if (flags.Has("no-skip-ahead")) {
     request->skip_ahead = false;
   }
+  return true;
+}
+
+// Parses a --batch file into one request per non-blank line. False (with
+// printed diagnostics) on a malformed line.
+bool LoadBatchRequests(const std::string& path, std::vector<eas::RunRequest>* requests) {
+  std::string text;
+  if (!ReadFileToString(path, &text)) {
+    std::fprintf(stderr, "cannot read --batch file %s\n", path.c_str());
+    return false;
+  }
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    const std::string body = hash == std::string::npos ? line : line.substr(0, hash);
+    if (body.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // blank or comment-only line
+    }
+    const auto request = eas::ParseRunRequest(body);
+    if (!request.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), line_number,
+                   request.error().Render().c_str());
+      return false;
+    }
+    eas::RunRequest named = *request;
+    if (named.name.empty()) {
+      named.name = named.scenario.empty() ? "req" + std::to_string(requests->size())
+                                          : named.scenario;
+    }
+    requests->push_back(std::move(named));
+  }
+  if (requests->empty()) {
+    std::fprintf(stderr, "--batch file %s holds no requests\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Assembles the invocation's requests from --batch / --request / flags,
+// exactly the same way for offline runs and `submit`.
+bool AssembleRequests(const eas::FlagParser& flags, bool batch,
+                      std::vector<eas::RunRequest>* requests) {
+  if (batch) {
+    for (const char* flag : kRequestFlags) {
+      if (flags.Has(flag)) {
+        std::fprintf(stderr, "--%s cannot be combined with --batch (put it in the file)\n",
+                     flag);
+        return false;
+      }
+    }
+    return LoadBatchRequests(flags.GetString("batch"), requests);
+  }
+  eas::RunRequest request;
+  if (flags.Has("request")) {
+    const std::string path = flags.GetString("request");
+    std::string text;
+    if (!ReadFileToString(path, &text)) {
+      std::fprintf(stderr, "cannot read --request file %s\n", path.c_str());
+      return false;
+    }
+    const auto parsed = eas::ParseRunRequest(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), parsed.error().Render().c_str());
+      return false;
+    }
+    request = *parsed;
+  }
+  if (!ApplyFlagOverrides(flags, &request)) {
+    return false;
+  }
+  requests->push_back(std::move(request));
   return true;
 }
 
@@ -163,6 +275,135 @@ void PrintResult(const eas::RunRecord& record) {
   std::printf("peak thermal:      %.1f W\n", result.thermal_power.MaxValue());
   std::printf("spread (steady):   %.1f W\n",
               result.MaxThermalSpreadAfter(record.spec.options.duration_ticks / 2));
+}
+
+std::string RequireSocket(const eas::FlagParser& flags) {
+  const std::string socket = flags.GetString("socket");
+  if (socket.empty()) {
+    std::fprintf(stderr, "eastool: this verb needs --socket PATH\n");
+  }
+  return socket;
+}
+
+// --- verbs -------------------------------------------------------------------
+
+int RunServe(const eas::FlagParser& flags) {
+  const std::string socket = RequireSocket(flags);
+  if (socket.empty()) {
+    return 1;
+  }
+  eas::ServerOptions options;
+  options.socket_path = socket;
+  options.service.queue_depth =
+      static_cast<std::size_t>(std::max(1LL, flags.GetInt("queue-depth", 64)));
+  options.service.workers =
+      static_cast<std::size_t>(std::max(0LL, flags.GetInt("threads", 0)));
+  auto server = eas::ExperimentServer::Start(std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "eastool serve: %s\n", server.error().Render().c_str());
+    return 1;
+  }
+  // The smoke script and wrappers poll for this line to know the socket is
+  // live; keep it first and flushed.
+  std::printf("serving on %s\n", socket.c_str());
+  std::fflush(stdout);
+  (*server)->Wait();
+  std::printf("service stopped\n");
+  return 0;
+}
+
+int RunSubmit(const eas::FlagParser& flags) {
+  const std::string socket = RequireSocket(flags);
+  if (socket.empty()) {
+    return 1;
+  }
+  std::vector<eas::RunRequest> requests;
+  if (!AssembleRequests(flags, flags.Has("batch"), &requests)) {
+    return 1;
+  }
+  std::vector<std::string> texts;
+  texts.reserve(requests.size());
+  for (const eas::RunRequest& request : requests) {
+    texts.push_back(eas::FormatRunRequestLine(request));
+  }
+
+  auto client = eas::ServiceClient::Connect(socket);
+  if (!client.ok()) {
+    std::fprintf(stderr, "eastool submit: %s\n", client.error().Render().c_str());
+    return 1;
+  }
+
+  // Records arrive in completion order; for file output they are reordered
+  // by (submission, index) so the bytes match the offline --jsonl file for
+  // the same request.
+  const std::string jsonl_path = flags.GetString("jsonl");
+  std::map<std::pair<std::uint64_t, std::size_t>, std::string> ordered;
+  auto outcome = client->SubmitAndStream(texts, [&](const eas::ClientRecord& record) {
+    if (jsonl_path.empty()) {
+      std::printf("%s\n", record.jsonl.c_str());
+    } else {
+      ordered[{record.submission, record.index}] = record.jsonl;
+    }
+  });
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "eastool submit: %s\n", outcome.error().Render().c_str());
+    return 1;
+  }
+  if (!jsonl_path.empty()) {
+    eas::JsonlSink sink(jsonl_path);
+    for (const auto& [key, line] : ordered) {
+      sink.AppendLine(line);
+    }
+    sink.Finish();
+    if (!sink.ok()) {
+      std::fprintf(stderr, "eastool submit: %s\n", sink.error().c_str());
+      return 1;
+    }
+    if (jsonl_path != "-") {
+      std::printf("jsonl written:     %s\n", jsonl_path.c_str());
+    }
+  }
+  std::fprintf(stderr, "%zu records from %zu submissions\n", outcome->records,
+               outcome->submissions.size());
+  return 0;
+}
+
+int RunStatus(const eas::FlagParser& flags) {
+  const std::string socket = RequireSocket(flags);
+  if (socket.empty()) {
+    return 1;
+  }
+  auto client = eas::ServiceClient::Connect(socket);
+  if (!client.ok()) {
+    std::fprintf(stderr, "eastool status: %s\n", client.error().Render().c_str());
+    return 1;
+  }
+  auto status = client->QueryStatus();
+  if (!status.ok()) {
+    std::fprintf(stderr, "eastool status: %s\n", status.error().Render().c_str());
+    return 1;
+  }
+  std::printf("%s\n", status->c_str());
+  return 0;
+}
+
+int RunShutdown(const eas::FlagParser& flags) {
+  const std::string socket = RequireSocket(flags);
+  if (socket.empty()) {
+    return 1;
+  }
+  auto client = eas::ServiceClient::Connect(socket);
+  if (!client.ok()) {
+    std::fprintf(stderr, "eastool shutdown: %s\n", client.error().Render().c_str());
+    return 1;
+  }
+  auto ack = client->RequestShutdown();
+  if (!ack.ok()) {
+    std::fprintf(stderr, "eastool shutdown: %s\n", ack.error().Render().c_str());
+    return 1;
+  }
+  std::printf("service stopping\n");
+  return 0;
 }
 
 }  // namespace
@@ -188,6 +429,31 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!flags.positional().empty()) {
+    const std::string& verb = flags.positional().front();
+    if (flags.positional().size() > 1) {
+      std::fprintf(stderr, "eastool: one verb only, got \"%s\" and \"%s\"\n", verb.c_str(),
+                   flags.positional()[1].c_str());
+      return 1;
+    }
+    if (verb == "serve") {
+      return RunServe(flags);
+    }
+    if (verb == "submit") {
+      return RunSubmit(flags);
+    }
+    if (verb == "status") {
+      return RunStatus(flags);
+    }
+    if (verb == "shutdown") {
+      return RunShutdown(flags);
+    }
+    std::fprintf(stderr, "unknown verb \"%s\" (known: serve, submit, status, shutdown)\n",
+                 verb.c_str());
+    PrintUsage();
+    return 1;
+  }
+
   if (flags.Has("list-scenarios")) {
     for (const auto& info : eas::ScenarioRegistry::Global().List()) {
       std::printf("%-20s %s\n", info.name.c_str(), info.description.c_str());
@@ -202,80 +468,26 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (flags.Has("list-sinks")) {
+    for (const std::string& name : eas::SinkRegistry::Global().Names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
   // --- assemble the request(s) ----------------------------------------------
-  std::vector<eas::RunRequest> requests;
   const bool batch = flags.Has("batch");
-  if (batch) {
-    for (const char* flag : kRequestFlags) {
-      if (flags.Has(flag)) {
-        std::fprintf(stderr, "--%s cannot be combined with --batch (put it in the file)\n",
-                     flag);
-        return 1;
-      }
-    }
-    const std::string path = flags.GetString("batch");
-    std::string text;
-    if (!ReadFileToString(path, &text)) {
-      std::fprintf(stderr, "cannot read --batch file %s\n", path.c_str());
-      return 1;
-    }
-    std::istringstream lines(text);
-    std::string line;
-    std::size_t line_number = 0;
-    while (std::getline(lines, line)) {
-      ++line_number;
-      const std::size_t hash = line.find('#');
-      const std::string body = hash == std::string::npos ? line : line.substr(0, hash);
-      if (body.find_first_not_of(" \t\r") == std::string::npos) {
-        continue;  // blank or comment-only line
-      }
-      std::string error;
-      const auto request = eas::ParseRunRequest(body, &error);
-      if (!request.has_value()) {
-        std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), line_number, error.c_str());
-        return 1;
-      }
-      eas::RunRequest named = *request;
-      if (named.name.empty()) {
-        named.name = named.scenario.empty() ? "req" + std::to_string(requests.size())
-                                            : named.scenario;
-      }
-      requests.push_back(std::move(named));
-    }
-    if (requests.empty()) {
-      std::fprintf(stderr, "--batch file %s holds no requests\n", path.c_str());
-      return 1;
-    }
-  } else {
-    eas::RunRequest request;
-    if (flags.Has("request")) {
-      const std::string path = flags.GetString("request");
-      std::string text;
-      if (!ReadFileToString(path, &text)) {
-        std::fprintf(stderr, "cannot read --request file %s\n", path.c_str());
-        return 1;
-      }
-      std::string error;
-      const auto parsed = eas::ParseRunRequest(text, &error);
-      if (!parsed.has_value()) {
-        std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
-        return 1;
-      }
-      request = *parsed;
-    }
-    if (!ApplyFlagOverrides(flags, &request)) {
-      return 1;
-    }
-    requests.push_back(std::move(request));
+  std::vector<eas::RunRequest> requests;
+  if (!AssembleRequests(flags, batch, &requests)) {
+    return 1;
   }
 
   // --- resolve ---------------------------------------------------------------
   std::vector<eas::ResolvedRequest> resolved;
   for (const eas::RunRequest& request : requests) {
-    std::string error;
-    auto r = eas::ResolveRunRequest(request, &error);
-    if (!r.has_value()) {
-      std::fprintf(stderr, "eastool: %s\n", error.c_str());
+    auto r = eas::ResolveRunRequest(request);
+    if (!r.ok()) {
+      std::fprintf(stderr, "eastool: %s\n", r.error().Render().c_str());
       return 1;
     }
     resolved.push_back(std::move(*r));
@@ -314,6 +526,18 @@ int main(int argc, char** argv) {
   if (flags.Has("plot")) {
     session.AddSink(plot);
   }
+  // --sink kind:path sinks come from the registry - the same resolution the
+  // service uses, so a spec that works here works there.
+  std::unique_ptr<eas::ResultSink> registry_sink;
+  if (flags.Has("sink")) {
+    auto created = eas::SinkRegistry::Global().Create(flags.GetString("sink"));
+    if (!created.ok()) {
+      std::fprintf(stderr, "--sink: %s\n", created.error().Render().c_str());
+      return 1;
+    }
+    registry_sink = std::move(*created);
+    session.AddSink(*registry_sink);
+  }
 
   // --- run (always through the parallel runner) ------------------------------
   std::vector<eas::RunRecord> records;
@@ -343,9 +567,13 @@ int main(int argc, char** argv) {
 
   csv.Finish();
   jsonl.Finish();
+  if (registry_sink != nullptr) {
+    registry_sink->Finish();
+  }
   for (const eas::ResultSink* sink : {static_cast<const eas::ResultSink*>(&csv),
-                                      static_cast<const eas::ResultSink*>(&jsonl)}) {
-    if (!sink->ok()) {
+                                      static_cast<const eas::ResultSink*>(&jsonl),
+                                      static_cast<const eas::ResultSink*>(registry_sink.get())}) {
+    if (sink != nullptr && !sink->ok()) {
       std::fprintf(stderr, "%s\n", sink->error().c_str());
       return 1;
     }
@@ -358,7 +586,7 @@ int main(int argc, char** argv) {
     std::printf("summary written:   %s%s\n", summary_csv.c_str(),
                 records.size() > 1 ? " (one row per run)" : "");
   }
-  if (!jsonl_path.empty()) {
+  if (!jsonl_path.empty() && jsonl_path != "-") {
     std::printf("jsonl written:     %s\n", jsonl_path.c_str());
   }
   return 0;
