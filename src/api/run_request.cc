@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/core/policy_registry.h"
+#include "src/fault/fault_plan.h"
 #include "src/freq/governor_registry.h"
 #include "src/sim/scenario.h"
 #include "src/sim/scenario_cache.h"
@@ -22,8 +23,8 @@ namespace {
 // replaces.
 constexpr const char* kKeys[] = {"name",       "tag",      "scenario",   "topology",
                                  "workload",   "policy",   "governor",   "duration-s",
-                                 "max-power",  "temp-limit", "throttle", "skip-ahead",
-                                 "intra-threads", "seed",  "runs"};
+                                 "max-power",  "temp-limit", "throttle", "faults",
+                                 "skip-ahead", "intra-threads", "seed",  "runs"};
 
 std::string KnownKeys() {
   std::string known;
@@ -118,6 +119,10 @@ std::optional<RequestError> ApplyPair(const std::string& key, const std::string&
     request->governor = value;
     return std::nullopt;
   }
+  if (key == "faults") {
+    request->faults = value;
+    return std::nullopt;
+  }
   if (key == "duration-s" || key == "max-power" || key == "temp-limit") {
     double parsed = 0.0;
     if (!ParseDoubleValue(value, &parsed)) {
@@ -210,6 +215,9 @@ std::string FormatWithSeparator(const RunRequest& request, const char* separator
   }
   if (request.throttle.has_value()) {
     Append(&out, "throttle", *request.throttle ? "true" : "false", separator);
+  }
+  if (request.faults.has_value()) {
+    Append(&out, "faults", *request.faults, separator);
   }
   if (request.skip_ahead.has_value()) {
     Append(&out, "skip-ahead", *request.skip_ahead ? "true" : "false", separator);
@@ -377,6 +385,9 @@ Expected<ResolvedRequest> ResolveRunRequest(const RunRequest& request, ScenarioC
   if (request.governor.has_value() && !TextSafe(*request.governor)) {
     return text_unsafe("governor");
   }
+  if (request.faults.has_value() && !TextSafe(*request.faults)) {
+    return text_unsafe("faults");
+  }
 
   ExperimentSpec spec;
   if (from_scenario) {
@@ -454,6 +465,20 @@ Expected<ResolvedRequest> ResolveRunRequest(const RunRequest& request, ScenarioC
   }
   if (!from_scenario || request.seed.has_value()) {
     spec.config.seed = request.seed.value_or(42);
+  }
+  // Faults resolve after the topology is final so the plan validates against
+  // the machine it will actually run on. The literal "none" cancels a
+  // scenario's baked-in plan (an empty value can't travel through the text
+  // format); unset inherits it.
+  if (!from_scenario || request.faults.has_value()) {
+    const std::string faults = request.faults.value_or("none");
+    spec.config.fault_spec = faults == "none" ? "" : faults;
+  }
+  if (spec.config.faulted()) {
+    std::string fault_error;
+    if (!ParseFaultPlan(spec.config.fault_spec, spec.config.topology, &fault_error).has_value()) {
+      return MakeError(RequestErrorCode::kBadValue, "faults", "bad faults: " + fault_error);
+    }
   }
 
   // --- policy (resolved purely via the BalancePolicyRegistry) --------------

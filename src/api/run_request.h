@@ -86,6 +86,11 @@ struct RunRequest {
   std::optional<double> temp_limit;   // derive per-package limits (default 38 C)
   std::optional<bool> throttle;       // enforce hlt throttling (default off)
 
+  // Seeded fault plan (src/fault/fault_plan.h grammar: off/on/spike/clamp/
+  // churn clauses), validated against the resolved topology. "none" cancels
+  // a scenario's baked-in plan; unset inherits it (default: no faults).
+  std::optional<std::string> faults;
+
   // Quiescent-span skip-ahead in the engine (default on). Results are
   // bit-identical either way; turning it off is the A/B timing escape hatch
   // (eastool --no-skip-ahead).

@@ -55,7 +55,7 @@ HotTaskMigrator::Result HotTaskMigrator::Check(int cpu, BalanceEnv& env) const {
     int coolest = -1;
     double coolest_package = 0.0;
     for (int candidate : domain->cpus) {
-      if (candidate == cpu || topo.AreSiblings(candidate, cpu)) {
+      if (candidate == cpu || topo.AreSiblings(candidate, cpu) || !env.CpuOnline(candidate)) {
         continue;
       }
       const double pkg = package_thermal(candidate);

@@ -10,6 +10,9 @@ int InitialPlacement::PlaceLeastLoaded(const BalanceEnv& env) {
   int best = 0;
   std::size_t best_load = std::numeric_limits<std::size_t>::max();
   for (std::size_t cpu = 0; cpu < n; ++cpu) {
+    if (!env.CpuOnline(static_cast<int>(cpu))) {
+      continue;
+    }
     const std::size_t load = env.runqueue(static_cast<int>(cpu)).nr_running();
     if (load < best_load) {
       best_load = load;
@@ -28,9 +31,13 @@ int InitialPlacement::Place(Task& task, const BalanceEnv& env,
 
   // Eligibility: no other CPU may be running fewer tasks, and (SMT) no other
   // candidate's package may be running fewer tasks - an idle sibling of a
-  // busy die is no substitute for an idle die.
+  // busy die is no substitute for an idle die. Offline CPUs are never
+  // candidates (with every CPU online the guards never fire).
   std::size_t min_load = std::numeric_limits<std::size_t>::max();
   for (std::size_t cpu = 0; cpu < n; ++cpu) {
+    if (!env.CpuOnline(static_cast<int>(cpu))) {
+      continue;
+    }
     min_load = std::min(min_load, env.runqueue(static_cast<int>(cpu)).nr_running());
   }
   auto package_load = [&env](int cpu) {
@@ -42,6 +49,9 @@ int InitialPlacement::Place(Task& task, const BalanceEnv& env,
   };
   std::size_t min_package_load = std::numeric_limits<std::size_t>::max();
   for (std::size_t cpu = 0; cpu < n; ++cpu) {
+    if (!env.CpuOnline(static_cast<int>(cpu))) {
+      continue;
+    }
     if (env.runqueue(static_cast<int>(cpu)).nr_running() == min_load) {
       min_package_load = std::min(min_package_load, package_load(static_cast<int>(cpu)));
     }
@@ -58,6 +68,9 @@ int InitialPlacement::Place(Task& task, const BalanceEnv& env,
   double best_distance = std::numeric_limits<double>::max();
   for (std::size_t i = 0; i < n; ++i) {
     const int cpu = static_cast<int>(i);
+    if (!env.CpuOnline(cpu)) {
+      continue;
+    }
     const Runqueue& rq = env.runqueue(cpu);
     if (rq.nr_running() != min_load || package_load(cpu) != min_package_load) {
       continue;

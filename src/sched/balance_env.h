@@ -67,6 +67,11 @@ class BalanceEnv {
   // the task was not found on `from`.
   virtual bool MigrateTask(Task* task, int from, int to) = 0;
 
+  // Whether the logical CPU accepts work. Policies and placement skip
+  // offline CPUs as candidates; fault-free environments (and every test
+  // fixture) stay all-online via this default.
+  virtual bool CpuOnline(int /*cpu*/) const { return true; }
+
   // Total migrations performed so far (for the paper's migration counts).
   virtual std::int64_t migration_count() const = 0;
 

@@ -201,6 +201,10 @@ ServiceStatusSnapshot ExperimentService::Status() const {
   const ScenarioCache::Stats cache_stats = cache_.stats();
   status.scenario_cache_hits = cache_stats.scenario_hits + cache_stats.library_hits;
   status.scenario_cache_misses = cache_stats.scenario_misses + cache_stats.library_misses;
+  status.cache_scenario_hits = cache_stats.scenario_hits;
+  status.cache_scenario_misses = cache_stats.scenario_misses;
+  status.cache_library_hits = cache_stats.library_hits;
+  status.cache_library_misses = cache_stats.library_misses;
   return status;
 }
 

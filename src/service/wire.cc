@@ -106,17 +106,21 @@ RequestError RequestErrorFromJson(const std::string& json) {
 }
 
 std::string ServiceStatusToJson(const ServiceStatusSnapshot& status) {
-  char buffer[512];
+  char buffer[768];
   std::snprintf(buffer, sizeof(buffer),
                 "{\"queue_capacity\": %zu, \"queued\": %zu, \"in_flight\": %zu, "
                 "\"completed_runs\": %zu, \"completed_submissions\": %zu, "
                 "\"rejected_submissions\": %zu, \"workers\": %zu, \"uptime_s\": %.3f, "
                 "\"runs_per_s\": %.3f, \"scenario_cache_hits\": %zu, "
-                "\"scenario_cache_misses\": %zu}",
+                "\"scenario_cache_misses\": %zu, \"cache_scenario_hits\": %zu, "
+                "\"cache_scenario_misses\": %zu, \"cache_library_hits\": %zu, "
+                "\"cache_library_misses\": %zu}",
                 status.queue_capacity, status.queued, status.in_flight, status.completed_runs,
                 status.completed_submissions, status.rejected_submissions, status.workers,
                 status.uptime_s, status.runs_per_s, status.scenario_cache_hits,
-                status.scenario_cache_misses);
+                status.scenario_cache_misses, status.cache_scenario_hits,
+                status.cache_scenario_misses, status.cache_library_hits,
+                status.cache_library_misses);
   return std::string(buffer);
 }
 

@@ -69,8 +69,15 @@ struct ServiceStatusSnapshot {
   std::size_t workers = 0;
   double uptime_s = 0.0;
   double runs_per_s = 0.0;      // completed_runs / uptime_s
-  std::size_t scenario_cache_hits = 0;
-  std::size_t scenario_cache_misses = 0;
+  std::size_t scenario_cache_hits = 0;    // scenario + library hits combined
+  std::size_t scenario_cache_misses = 0;  // scenario + library misses combined
+  // The per-queue split behind the combined counters: scenario-spec builds
+  // and program-library builds are cached (and therefore hit/miss) on
+  // independent keys, so a cold library with a warm scenario set is visible.
+  std::size_t cache_scenario_hits = 0;
+  std::size_t cache_scenario_misses = 0;
+  std::size_t cache_library_hits = 0;
+  std::size_t cache_library_misses = 0;
 };
 
 std::string ServiceStatusToJson(const ServiceStatusSnapshot& status);

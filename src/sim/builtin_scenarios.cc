@@ -229,6 +229,37 @@ ScenarioSpec GovernorComparison() {
   return spec;
 }
 
+ScenarioSpec ChaosSoak() {
+  ScenarioSpec spec;
+  spec.description =
+      "Chaos soak: SMT paper box under a dense seeded fault plan (hotplug churn, thermal "
+      "spikes, P-state clamps) with the invariant checker armed every tick";
+  spec.config = PaperMachine();
+  // SMT on: hotplug must cope with sibling pairs sharing a package, not just
+  // one logical CPU per core.
+  spec.config.topology = CpuTopology::PaperXSeries445(/*smt_enabled=*/true);
+  spec.config.explicit_max_power_physical = 60.0;
+  spec.config.frequency_governor = "thermal-stepdown";
+  // The plan layers every fault kind: a 10-pair churn schedule expanded from
+  // its own seed, two thermal emergencies, two clamp windows, and one
+  // hand-placed hotplug pair on each node. Deterministic by construction -
+  // the schedule is a function of this string alone.
+  spec.config.fault_spec =
+      "churn:10@50000:1337,spike:0@6000:12:2500,spike:5@20000:9:2000,"
+      "clamp:2@10000:3:6000,clamp:6@30000:2:5000,off:3@4000,on:3@16000,"
+      "off:11@24000,on:11@36000";
+  auto library = MakeLibrary(spec.config);
+  Workload workload;
+  workload = Workload(MixedWorkload(*library, 2));
+  for (int i = 0; i < 16; ++i) {
+    workload.Add(library->sshd(), /*tick=*/static_cast<Tick>(i) * 700);
+  }
+  workload.Retain(library);
+  spec.workload = std::move(workload);
+  spec.options.duration_ticks = 60'000;
+  return spec;
+}
+
 ScenarioSpec TraceReplay() {
   ScenarioSpec spec;
   spec.description = "Trace playback: staged bitcnts burst over a memrw floor";
@@ -296,6 +327,10 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
                     "Governor proving ground: bursty mixed workload under a 40 W cap with hlt "
                     "backstop; sweep --governor across none/thermal-stepdown/ondemand",
                     GovernorComparison);
+  registry.Register("chaos-soak",
+                    "Chaos soak: SMT paper box under a dense seeded fault plan (hotplug churn, "
+                    "thermal spikes, P-state clamps) with the invariant checker armed every tick",
+                    ChaosSoak);
 }
 
 }  // namespace eas

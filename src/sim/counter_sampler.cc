@@ -32,13 +32,16 @@ double CounterSampler::Sample(SimulationState& state, std::size_t physical,
     state.power_state(cpu).AccountEnergy(estimated, kTickSeconds);
   }
 
-  // Inactive (idle or throttled) siblings burn their halt-power share.
+  // Inactive (idle or throttled) siblings burn their halt-power share; an
+  // offlined sibling is powered down and credits zero watts (its thermal
+  // average decays toward zero across the offline span).
   const double idle_share = state.IdlePowerPerLogical();
   const std::size_t siblings = state.config().topology.smt_per_physical();
   for (std::size_t t = 0; t < siblings; ++t) {
     const int cpu = state.config().topology.LogicalId(physical, t);
     if (active_mask_[static_cast<std::size_t>(cpu)] == 0) {
-      state.power_state(cpu).AccountEnergy(idle_share * kTickSeconds, kTickSeconds);
+      const double share = state.CpuOnline(cpu) ? idle_share : 0.0;
+      state.power_state(cpu).AccountEnergy(share * kTickSeconds, kTickSeconds);
     }
   }
   for (int cpu : active) {

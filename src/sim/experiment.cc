@@ -1,9 +1,11 @@
 #include "src/sim/experiment.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "src/sim/accounting.h"
+#include "src/sim/invariant_checker.h"
 
 namespace eas {
 
@@ -87,9 +89,21 @@ RunResult Experiment::Run(const Workload& workload) {
     }
   }
 
+  // Faulted runs carry the invariant checker for their whole duration: a
+  // chaos schedule that loses a task or unbalances a ledger throws out of
+  // Run instead of producing silently-wrong records.
+  std::unique_ptr<InvariantChecker> checker;
+  if (machine_->config().faulted()) {
+    checker = std::make_unique<InvariantChecker>(machine_->state());
+    machine_->engine().AddObserver(checker.get());
+  }
+
   machine_->engine().AddObserver(&accounting);
   machine_->Run(options_.duration_ticks);
   machine_->engine().RemoveObserver(&accounting);
+  if (checker != nullptr) {
+    machine_->engine().RemoveObserver(checker.get());
+  }
   // Arrivals scheduled at or past the duration are still pending; a later
   // run on this machine must not inherit them.
   machine_->state().ClearPendingArrivals();
@@ -130,6 +144,10 @@ RunResult Experiment::Run(const Workload& workload) {
       result.pstate_residency.push_back(std::move(residency));
       result.average_frequency.push_back(domain.AverageFrequency());
     }
+  }
+  if (machine_->config().faulted()) {
+    result.faults_fired = machine_->state().faults_fired();
+    result.offline_cpu_ticks = machine_->state().offline_cpu_ticks();
   }
   return result;
 }

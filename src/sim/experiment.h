@@ -5,6 +5,8 @@
 #ifndef SRC_SIM_EXPERIMENT_H_
 #define SRC_SIM_EXPERIMENT_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,12 @@ struct RunResult {
   // P-state, and the tick-weighted average frequency multiplier.
   std::vector<std::vector<double>> pstate_residency;
   std::vector<double> average_frequency;
+
+  // Fault-injection columns, populated only when the config carried a fault
+  // plan (the DVFS-columns pattern: absent fields emit no CSV columns, so a
+  // fault-free run's records stay byte-identical to pre-fault captures).
+  std::optional<std::int64_t> faults_fired;
+  std::optional<std::int64_t> offline_cpu_ticks;
 
   // Work per second: the throughput measure used for the paper's
   // "increase in throughput" numbers. (Tasks have fixed-size work units, so

@@ -1,0 +1,97 @@
+#include "src/sim/fault_phase.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace eas {
+
+void FaultPhase::Run(SimulationState& state) const {
+  TickEventQueue<FaultEvent>& queue = state.fault_queue();
+  while (queue.PeekReady(state.now()) != nullptr) {
+    const FaultEvent event = queue.Pop().payload;
+    switch (event.kind) {
+      case FaultKind::kCpuOffline:
+        ApplyOffline(state, event);
+        break;
+      case FaultKind::kCpuOnline:
+        ApplyOnline(state, event);
+        break;
+      case FaultKind::kThermalSpike:
+        ApplySpike(state, event);
+        break;
+      case FaultKind::kPStateClamp:
+        ApplyClamp(state, event);
+        break;
+    }
+  }
+
+  // Ungoverned machines have no FrequencyPhase to walk an expired clamp
+  // back to full speed, and nothing else ever moves their domains off P0 -
+  // so an off-P0 domain with no open clamp window is an expired clamp.
+  if (!state.config().governed()) {
+    for (std::size_t phys = 0; phys < state.num_physical(); ++phys) {
+      if (!state.ClampActive(phys) && state.freq_domain(phys).current() != 0) {
+        state.freq_domain(phys).SetPState(0);
+      }
+    }
+  }
+
+  state.AccountOfflineTicks();
+}
+
+void FaultPhase::ApplyOffline(SimulationState& state, const FaultEvent& event) const {
+  if (!state.CpuOnline(event.cpu)) {
+    return;  // already offline (churn overlap); idempotent
+  }
+  // The last online CPU refuses to go offline - a machine with zero
+  // capacity has no defined semantics (real hotplug refuses the same way).
+  if (state.offline_cpu_count() + 1 >= static_cast<std::int64_t>(state.num_cpus())) {
+    return;
+  }
+  state.SetCpuOnline(event.cpu, false);
+  state.NoteFaultFired();
+
+  // Drain: every task on the dead CPU re-places through the normal
+  // migration path (accounting-period commit, warmup penalty, migration
+  // count), onto the least-loaded online CPU - recomputed per task so a
+  // long queue spreads instead of dogpiling one victim.
+  Runqueue& rq = state.runqueue(event.cpu);
+  while (rq.current() != nullptr || rq.nr_queued() > 0) {
+    Task* task = rq.current() != nullptr ? rq.current() : rq.queued().front();
+    if (!state.MigrateTask(task, event.cpu, state.PickOnlineFallback(event.cpu))) {
+      break;  // unreachable while >= 1 CPU is online; guards a wedged loop
+    }
+  }
+}
+
+void FaultPhase::ApplyOnline(SimulationState& state, const FaultEvent& event) const {
+  if (state.CpuOnline(event.cpu)) {
+    return;  // already online; idempotent
+  }
+  state.SetCpuOnline(event.cpu, true);
+  state.NoteFaultFired();
+  // No eager re-fill: the balance policy repopulates the restored CPU on
+  // its next pass, exactly as it absorbs any other imbalance.
+}
+
+void FaultPhase::ApplySpike(SimulationState& state, const FaultEvent& event) const {
+  RcThermalModel& thermal = state.thermal(event.package);
+  thermal.SetTemperature(thermal.temperature() + event.delta_c);
+  state.RaiseEmergency(event.package, state.now() + event.duration);
+  state.NoteFaultFired();
+}
+
+void FaultPhase::ApplyClamp(SimulationState& state, const FaultEvent& event) const {
+  FrequencyDomain& domain = state.freq_domain(event.package);
+  const std::size_t floor = std::min(event.floor, domain.table().deepest());
+  state.SetClamp(event.package, floor, state.now() + event.duration);
+  // Governed domains are held at/below the floor by FrequencyPhase each
+  // tick; ungoverned ones have no phase, so the clamp applies here and
+  // Run() restores P0 when the window closes.
+  if (!state.config().governed() && domain.current() < floor) {
+    domain.SetPState(floor);
+  }
+  state.NoteFaultFired();
+}
+
+}  // namespace eas

@@ -56,6 +56,17 @@ void FrequencyPhase::GovernPackage(SimulationState& state, std::size_t physical,
   inputs.package_throttled = package_throttled;
 
   domain.SetPState(governors_[physical]->DecidePState(inputs));
+  // Fault overrides trump the governor's decision: a thermal emergency
+  // forces the deepest P-state for the window; a clamp floors the index
+  // (deeper-than-floor governor choices stand - the clamp only forbids
+  // running *faster* than the floor).
+  if (state.config().faulted()) {
+    if (state.EmergencyActive(physical)) {
+      domain.SetPState(domain.table().deepest());
+    } else if (state.ClampActive(physical) && domain.current() < state.clamp_floor(physical)) {
+      domain.SetPState(state.clamp_floor(physical));
+    }
+  }
   domain.AccountTick();
 }
 

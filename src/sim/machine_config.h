@@ -55,6 +55,15 @@ struct MachineConfig {
   // bit-identity guarantee to hold.
   bool governed() const { return frequency_governor != "none"; }
 
+  // Seeded fault-injection plan (src/fault/fault_plan.h grammar), parsed by
+  // the SimulationState constructor; empty = no fault layer. Mirrors
+  // governed(): the single source of truth for every "skip the fault
+  // machinery" special case (engine phase, skip-ahead gating, invariant
+  // checker, result columns), so a fault-free run is bit-identical to one
+  // predating the fault layer.
+  std::string fault_spec;
+  bool faulted() const { return !fault_spec.empty(); }
+
   // Scheduling policy switches (the paper's contribution vs baseline).
   EnergySchedConfig sched = EnergySchedConfig::EnergyAware();
 

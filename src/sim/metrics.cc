@@ -127,6 +127,22 @@ void RegisterBuiltinMetrics(MetricRegistry& registry) {
         }
       });
 
+  // The fault families follow the same conditional pattern: the optionals
+  // are only set when the config carried a fault plan, so fault-free runs
+  // emit no fault columns and their records stay byte-identical.
+  registry.RegisterScalar("faults_fired", [](const RunResult& r, std::vector<MetricValue>& out) {
+    if (r.faults_fired.has_value()) {
+      out.push_back(Integral("faults_fired", static_cast<double>(*r.faults_fired)));
+    }
+  });
+  registry.RegisterScalar("offline_cpu_ticks",
+                          [](const RunResult& r, std::vector<MetricValue>& out) {
+                            if (r.offline_cpu_ticks.has_value()) {
+                              out.push_back(Integral("offline_cpu_ticks",
+                                                     static_cast<double>(*r.offline_cpu_ticks)));
+                            }
+                          });
+
   registry.RegisterSeries("thermal_power",
                           [](const RunResult& r) -> const SeriesSet& { return r.thermal_power; });
   registry.RegisterSeries("temperature",

@@ -21,8 +21,14 @@ void SchedTick::WakeSleepers(SimulationState& state) const {
     if (task->state() != TaskState::kSleeping || task->wake_tick() != wake_tick) {
       continue;
     }
-    // Wake on the CPU the task last ran on (affinity).
-    state.runqueue(task->cpu()).EnqueueFront(task);
+    // Wake on the CPU the task last ran on (affinity) - unless a fault took
+    // it offline while the task slept, in which case the wake redirects to
+    // the least-loaded online CPU (Enqueue* rewrites task->cpu()).
+    int cpu = task->cpu();
+    if (!state.CpuOnline(cpu)) {
+      cpu = state.PickOnlineFallback(cpu);
+    }
+    state.runqueue(cpu).EnqueueFront(task);
   }
 }
 

@@ -16,6 +16,9 @@ void BalancePhase::Run(SimulationState& state) {
   const std::size_t logical = state.config().topology.num_logical();
   for (std::size_t i = 0; i < logical; ++i) {
     const int cpu = static_cast<int>(i);
+    if (!state.CpuOnline(cpu)) {
+      continue;  // an offlined CPU neither pulls work nor sheds hot tasks
+    }
     const Tick stagger = static_cast<Tick>(i) * 17;
 
     const bool idle = state.runqueue(cpu).Idle();
@@ -43,6 +46,9 @@ void SimulationEngine::Tick(SimulationState& state) {
 }
 
 void SimulationEngine::TickInterleaved(SimulationState& state) {
+  if (state.config().faulted()) {
+    fault_.Run(state);
+  }
   sched_tick_.SpawnArrivals(state);
   sched_tick_.WakeSleepers(state);
 
@@ -92,6 +98,9 @@ void SimulationEngine::EnsureShardedRuntime(SimulationState& state) {
 }
 
 void SimulationEngine::TickSharded(SimulationState& state) {
+  if (state.config().faulted()) {
+    fault_.Run(state);
+  }
   sched_tick_.SpawnArrivals(state);
   sched_tick_.WakeSleepers(state);
 
@@ -135,20 +144,29 @@ void SimulationEngine::TickSharded(SimulationState& state) {
 void SimulationEngine::Advance(SimulationState& state, eas::Tick ticks) {
   const MachineConfig& config = state.config();
   const bool skip_eligible = config.skip_ahead && balance_.policy().IdleMachineIsNoop();
+  // Faulted machines never take the closed-form path: the slow kernel runs
+  // the observers (the InvariantChecker must see every tick) and recomputes
+  // the gate and governor, whose decisions fault windows change.
   const bool fast_eligible =
-      skip_eligible && !config.governed() && !config.throttling_enabled;
+      skip_eligible && !config.governed() && !config.throttling_enabled && !config.faulted();
   const eas::Tick end = state.now() + ticks;
 
   while (state.now() < end) {
-    if (skip_eligible && state.total_runnable() == 0) {
+    if (skip_eligible && state.total_runnable() == 0 &&
+        (!config.faulted() || state.FaultQuiescent())) {
       // Next interesting tick: the span must stop where a naive tick would
       // do real work. A wake or arrival due at tick t is processed at the
       // start of the tick beginning at t, so the span may run up to t
       // exactly; observers fire after the clock advances, so the fast path
-      // (which skips them) stops at the earliest observable now value.
+      // (which skips them) stops at the earliest observable now value. A
+      // pending fault event bounds the span the same way: it must be
+      // applied by FaultPhase inside a full tick, never jumped over.
       eas::Tick span_end = end;
       span_end = std::min(span_end, state.wake_queue().NextEventTick(span_end));
       span_end = std::min(span_end, state.arrival_queue().NextEventTick(span_end));
+      if (config.faulted()) {
+        span_end = std::min(span_end, state.fault_queue().NextEventTick(span_end));
+      }
       if (fast_eligible) {
         for (TickObserver* observer : observers_) {
           span_end = std::min(span_end, observer->NextObservableTick(state.now()));

@@ -2,8 +2,11 @@
 //
 // One engine tick reproduces the paper's modified kernel tick:
 //
-//   0. SchedTick::SpawnArrivals    - workload arrivals due this tick spawn
-//   1. SchedTick::WakeSleepers     - expired sleeps re-enter their runqueues
+//   0. FaultPhase::Run             - due fault-plan events mutate the machine
+//                                    (only on faulted configs; see
+//                                    src/sim/fault_phase.h)
+//   1. SchedTick::SpawnArrivals    - workload arrivals due this tick spawn
+//      SchedTick::WakeSleepers     - expired sleeps re-enter their runqueues
 //   2. per physical package:
 //      a. ThrottleGate::GatePackage    - hlt decision on summed thermal power
 //      b. FrequencyPhase::GovernPackage- DVFS governor picks the P-state
@@ -31,6 +34,7 @@
 #include "src/core/hot_task_migrator.h"
 #include "src/sched/balance_policy.h"
 #include "src/sim/counter_sampler.h"
+#include "src/sim/fault_phase.h"
 #include "src/sim/frequency_phase.h"
 #include "src/sim/package_worker_pool.h"
 #include "src/sim/sched_tick.h"
@@ -141,6 +145,7 @@ class SimulationEngine {
   void RunQuiescentSpanSlow(SimulationState& state, eas::Tick span);
 
   SchedTick sched_tick_;
+  FaultPhase fault_;
   ThrottleGate throttle_gate_;
   FrequencyPhase frequency_;
   CounterSampler counter_sampler_;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <limits>
+#include <stdexcept>
 
 #include "src/counters/calibration.h"
 
@@ -82,6 +83,25 @@ SimulationState::SimulationState(const MachineConfig& config)
     counter_by_cpu_[cpu] = &shard.counters[t];
     power_state_by_cpu_[cpu] = &shard.power_states[t];
     throttle_by_cpu_[cpu] = &shard.throttles[t];
+  }
+
+  // Fault layer: healthy masks always exist (CpuOnline() must answer even
+  // on fault-free machines); the event queue only fills from a plan.
+  cpu_online_.assign(logical, 1);
+  online_siblings_.assign(physical, static_cast<std::int64_t>(siblings));
+  emergency_until_.assign(physical, 0);
+  clamp_until_.assign(physical, 0);
+  clamp_floor_.assign(physical, 0);
+  if (config_.faulted()) {
+    std::string fault_error;
+    const std::optional<FaultPlan> plan =
+        ParseFaultPlan(config_.fault_spec, config_.topology, &fault_error);
+    if (!plan.has_value()) {
+      throw std::invalid_argument("bad fault spec: " + fault_error);
+    }
+    for (std::size_t i = 0; i < plan->events.size(); ++i) {
+      fault_queue_.Push(plan->events[i].tick, static_cast<std::int64_t>(i), plan->events[i]);
+    }
   }
 }
 
@@ -167,13 +187,18 @@ int SimulationState::PlaceLeastLoadedRandomTie() {
   // busy one (SMT-aware). Remaining ties break randomly, modelling the
   // incidental state (exec'ing CPU, parent's cache) that decides in a real
   // system, without biasing toward CPU 0.
+  // Offline CPUs never receive placements; with every CPU online the
+  // guards vanish and the scan is the historical one, bit for bit.
   std::size_t min_load = std::numeric_limits<std::size_t>::max();
   for (std::size_t cpu = 0; cpu < num_cpus(); ++cpu) {
+    if (cpu_online_[cpu] == 0) {
+      continue;
+    }
     min_load = std::min(min_load, runqueue(static_cast<int>(cpu)).nr_running());
   }
   std::size_t min_package_load = std::numeric_limits<std::size_t>::max();
   for (std::size_t cpu = 0; cpu < num_cpus(); ++cpu) {
-    if (runqueue(static_cast<int>(cpu)).nr_running() != min_load) {
+    if (cpu_online_[cpu] == 0 || runqueue(static_cast<int>(cpu)).nr_running() != min_load) {
       continue;
     }
     std::size_t package_load = 0;
@@ -184,7 +209,7 @@ int SimulationState::PlaceLeastLoadedRandomTie() {
   }
   std::vector<int> candidates;
   for (std::size_t cpu = 0; cpu < num_cpus(); ++cpu) {
-    if (runqueue(static_cast<int>(cpu)).nr_running() != min_load) {
+    if (cpu_online_[cpu] == 0 || runqueue(static_cast<int>(cpu)).nr_running() != min_load) {
       continue;
     }
     std::size_t package_load = 0;
@@ -198,9 +223,58 @@ int SimulationState::PlaceLeastLoadedRandomTie() {
   return candidates[rng_.NextBelow(candidates.size())];
 }
 
+void SimulationState::SetCpuOnline(int cpu, bool online) {
+  std::uint8_t& flag = cpu_online_[static_cast<std::size_t>(cpu)];
+  if ((flag != 0) == online) {
+    return;
+  }
+  flag = online ? 1 : 0;
+  const std::size_t phys = config_.topology.PhysicalOf(cpu);
+  online_siblings_[phys] += online ? 1 : -1;
+  offline_cpus_ += online ? -1 : 1;
+}
+
+bool SimulationState::FaultQuiescent() const {
+  if (offline_cpus_ != 0) {
+    return false;
+  }
+  for (std::size_t phys = 0; phys < shards_.size(); ++phys) {
+    if (EmergencyActive(phys) || ClampActive(phys)) {
+      return false;
+    }
+    // Ungoverned machines have no FrequencyPhase to walk a clamped domain
+    // back to P0, so a domain still off P0 keeps the span ineligible (the
+    // FaultPhase restores it when the clamp expires).
+    if (!config_.governed() && shards_[phys].freq_domain.current() != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int SimulationState::PickOnlineFallback(int excluding) const {
+  int best = excluding;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t cpu = 0; cpu < num_cpus(); ++cpu) {
+    const int candidate = static_cast<int>(cpu);
+    if (candidate == excluding || cpu_online_[cpu] == 0) {
+      continue;
+    }
+    const std::size_t load = runqueue(candidate).nr_running();
+    if (load < best_load) {
+      best_load = load;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
 bool SimulationState::MigrateTask(Task* task, int from, int to) {
   if (from == to) {
     return false;
+  }
+  if (cpu_online_[static_cast<std::size_t>(to)] == 0) {
+    return false;  // never migrate onto an offlined CPU
   }
   Runqueue& src = runqueue(from);
   Runqueue& dst = runqueue(to);

@@ -27,6 +27,7 @@
 #ifndef SRC_SIM_SIMULATION_STATE_H_
 #define SRC_SIM_SIMULATION_STATE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <memory_resource>
@@ -34,6 +35,7 @@
 
 #include "src/base/annotations.h"
 #include "src/core/initial_placement.h"
+#include "src/fault/fault_plan.h"
 #include "src/core/power_metrics.h"
 #include "src/counters/counter_block.h"
 #include "src/counters/energy_estimator.h"
@@ -97,6 +99,9 @@ class SimulationState : public BalanceEnv {
   EAS_SHARD_LOCAL double ThermalPower(int cpu) const override;
   EAS_SHARD_LOCAL double MaxPower(int cpu) const override;
   EAS_CROSS_SHARD bool MigrateTask(Task* task, int from, int to) override;
+  bool CpuOnline(int cpu) const override {
+    return cpu_online_[static_cast<std::size_t>(cpu)] != 0;
+  }
   std::int64_t migration_count() const override { return migration_count_; }
   // Balance metrics only change between balance passes when the tick
   // advances: every non-balance mutation (spawn, wake, execution, sampling,
@@ -165,6 +170,68 @@ class SimulationState : public BalanceEnv {
     }
     return total;
   }
+
+  // --- fault injection (src/fault/fault_plan.h, applied by FaultPhase) ------
+  //
+  // The constructor parses config.fault_spec into the fault queue (throwing
+  // std::invalid_argument on a malformed spec); the FaultPhase pops due
+  // events at the start of each tick and mutates the masks below. All of
+  // this is engine-sequential state: the phase runs before any parallel
+  // fan-out, and the package phases only *read* the masks for their own
+  // package.
+
+  EAS_CROSS_SHARD TickEventQueue<FaultEvent>& fault_queue() { return fault_queue_; }
+  EAS_CROSS_SHARD const TickEventQueue<FaultEvent>& fault_queue() const { return fault_queue_; }
+
+  // Flips a CPU's online bit, maintaining the per-package online-sibling
+  // and machine-wide offline counts. No-op if the bit already matches.
+  EAS_CROSS_SHARD void SetCpuOnline(int cpu, bool online);
+
+  // Online SMT siblings of a package (== smt_per_physical() when healthy).
+  EAS_SHARD_LOCAL std::int64_t online_siblings(std::size_t physical) const {
+    return online_siblings_[physical];
+  }
+  std::int64_t offline_cpu_count() const { return offline_cpus_; }
+  // Ledger: sum over ticks of the offline-CPU count at each tick, appended
+  // by FaultPhase after it applies the tick's events.
+  std::int64_t offline_cpu_ticks() const { return offline_cpu_ticks_; }
+  EAS_CROSS_SHARD void AccountOfflineTicks() { offline_cpu_ticks_ += offline_cpus_; }
+  std::int64_t faults_fired() const { return faults_fired_; }
+  EAS_CROSS_SHARD void NoteFaultFired() { ++faults_fired_; }
+
+  // Thermal emergency: while active the governor is forced to the deepest
+  // P-state (ungoverned machines halt through the gate's backstop).
+  EAS_SHARD_LOCAL bool EmergencyActive(std::size_t physical) const {
+    return now_ < emergency_until_[physical];
+  }
+  EAS_CROSS_SHARD void RaiseEmergency(std::size_t physical, Tick until) {
+    emergency_until_[physical] = std::max(emergency_until_[physical], until);
+  }
+
+  // P-state clamp: while active the package's P-state index may not drop
+  // below the floor (deeper = higher index = slower is always allowed).
+  EAS_SHARD_LOCAL bool ClampActive(std::size_t physical) const {
+    return now_ < clamp_until_[physical];
+  }
+  EAS_SHARD_LOCAL std::size_t clamp_floor(std::size_t physical) const {
+    return clamp_floor_[physical];
+  }
+  EAS_CROSS_SHARD void SetClamp(std::size_t physical, std::size_t floor, Tick until) {
+    clamp_floor_[physical] = floor;
+    clamp_until_[physical] = std::max(clamp_until_[physical], until);
+  }
+
+  // True when no fault effect is live: every CPU online, no emergency or
+  // clamp window open, and (ungoverned) every domain back at P0. The
+  // skip-ahead planner requires this before entering a quiescent span, so
+  // the reduced kernels never have to model offline physics.
+  EAS_CROSS_SHARD bool FaultQuiescent() const;
+
+  // Least-loaded online CPU other than `excluding` (lowest id breaks ties -
+  // deterministic, no RNG draw: fault reactions must not perturb the shared
+  // stream). Returns `excluding` itself only if no other CPU is online,
+  // which the FaultPhase's last-CPU guard prevents.
+  EAS_CROSS_SHARD int PickOnlineFallback(int excluding) const;
 
   // --- derived quantities ---------------------------------------------------
   std::size_t num_cpus() const { return config_.topology.num_logical(); }
@@ -286,6 +353,19 @@ class SimulationState : public BalanceEnv {
   // (tick, insertion seq)-keyed workload arrivals.
   TickEventQueue<PendingArrival> arrival_queue_;
   std::int64_t next_arrival_seq_ = 0;
+
+  // Fault-layer state (allocated unconditionally - a handful of words - so
+  // CpuOnline() stays branch-free on the fault-free hot path; the queue and
+  // counters only ever change when config.faulted()).
+  TickEventQueue<FaultEvent> fault_queue_;        // (tick, plan position)
+  std::vector<std::uint8_t> cpu_online_;          // per logical, 1 = online
+  std::vector<std::int64_t> online_siblings_;     // per package
+  std::vector<Tick> emergency_until_;             // per package, exclusive
+  std::vector<Tick> clamp_until_;                 // per package, exclusive
+  std::vector<std::size_t> clamp_floor_;          // per package
+  std::int64_t offline_cpus_ = 0;
+  std::int64_t offline_cpu_ticks_ = 0;
+  std::int64_t faults_fired_ = 0;
 };
 
 }  // namespace eas

@@ -3,18 +3,33 @@
 namespace eas {
 
 bool ThrottleGate::GatePackage(SimulationState& state, std::size_t physical) const {
+  // A thermal-emergency window on an *ungoverned* machine halts the package
+  // outright - the hlt backstop: with no governor there is no P-state to
+  // step down to. Governed machines ride the emergency at the deepest
+  // P-state instead (FrequencyPhase), matching how the paper positions the
+  // two capping mechanisms.
+  const bool emergency = state.config().faulted() && !state.config().governed() &&
+                         state.EmergencyActive(physical);
   if (!state.config().throttling_enabled) {
-    return false;
+    if (!emergency) {
+      return false;
+    }
+    state.package_throttle(physical).AccountTick(true);
+    return true;
   }
   const bool throttled = state.package_throttle(physical).ShouldThrottle(
-      state.PackageThermalPower(physical), state.MaxPowerPhysical(physical));
+                             state.PackageThermalPower(physical),
+                             state.MaxPowerPhysical(physical)) ||
+                         emergency;
   state.package_throttle(physical).AccountTick(throttled);
   return throttled;
 }
 
 void ThrottleGate::AccountCpuTicks(SimulationState& state, std::size_t physical,
                                    bool throttled) const {
-  if (!state.config().throttling_enabled) {
+  // Emergency-forced halts (throttled despite throttling_enabled == false)
+  // still record Table 3 statistics; the fault-free early-out is unchanged.
+  if (!state.config().throttling_enabled && !throttled) {
     return;
   }
   const std::size_t siblings = state.config().topology.smt_per_physical();

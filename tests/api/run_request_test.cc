@@ -50,6 +50,7 @@ TEST(RunRequestParseTest, ParsesEveryKey) {
       "max-power = 40\n"
       "temp-limit = 38\n"
       "throttle = true\n"
+      "faults = off:1@5,on:1@9\n"
       "skip-ahead = off\n"
       "intra-threads = 4\n"
       "seed = 7\n"
@@ -64,6 +65,7 @@ TEST(RunRequestParseTest, ParsesEveryKey) {
   EXPECT_EQ(request.max_power, 40.0);
   EXPECT_EQ(request.temp_limit, 38.0);
   EXPECT_EQ(request.throttle, true);
+  EXPECT_EQ(request.faults, "off:1@5,on:1@9");
   EXPECT_EQ(request.skip_ahead, false);
   EXPECT_EQ(request.intra_threads, 4u);
   EXPECT_EQ(request.seed, 7u);
@@ -337,6 +339,64 @@ TEST(RunRequestResolveTest, IntraThreadsFlowsIntoTheMachineConfig) {
   const auto over_scenario = ResolveRunRequest(scenario);
   ASSERT_TRUE(over_scenario.ok()) << over_scenario.error().Render();
   EXPECT_EQ(over_scenario->specs[0].config.intra_run_threads, 2u);
+}
+
+TEST(RunRequestResolveTest, FaultsFlowIntoTheMachineConfig) {
+  // Unset: no fault plan. Explicit: the spec lands in the config verbatim,
+  // validated against the resolved topology. The literal "none" cancels a
+  // scenario's baked-in plan; unset inherits it.
+  const auto defaulted = ResolveRunRequest(RunRequest{});
+  ASSERT_TRUE(defaulted.ok()) << defaulted.error().Render();
+  EXPECT_FALSE(defaulted->specs[0].config.faulted());
+
+  RunRequest request;
+  request.faults = "off:1@100,on:1@200";
+  const auto faulted = ResolveRunRequest(request);
+  ASSERT_TRUE(faulted.ok()) << faulted.error().Render();
+  EXPECT_EQ(faulted->specs[0].config.fault_spec, "off:1@100,on:1@200");
+
+  const auto inherited = ResolveRunRequest(RunRequestForScenario("chaos-soak"));
+  ASSERT_TRUE(inherited.ok()) << inherited.error().Render();
+  EXPECT_TRUE(inherited->specs[0].config.faulted());
+
+  RunRequest cancelled = RunRequestForScenario("chaos-soak");
+  cancelled.faults = "none";
+  const auto clean = ResolveRunRequest(cancelled);
+  ASSERT_TRUE(clean.ok()) << clean.error().Render();
+  EXPECT_FALSE(clean->specs[0].config.faulted());
+}
+
+TEST(RunRequestResolveTest, FaultsValidateAgainstTheResolvedTopology) {
+  // The same spec is fine on a wide box and rejected on a narrow one: the
+  // plan validates after the topology is final, naming the faults key.
+  RunRequest request;
+  request.topology = "2:4:1";
+  request.faults = "off:7@100";
+  ASSERT_TRUE(ResolveRunRequest(request).ok());
+
+  request.topology = "1:2:1";
+  const auto narrow = ResolveRunRequest(request);
+  ASSERT_FALSE(narrow.ok());
+  EXPECT_EQ(narrow.error().code, RequestErrorCode::kBadValue);
+  EXPECT_EQ(narrow.error().key, "faults");
+
+  request.faults = "frobnicate:1@2";
+  request.topology = "2:4:1";
+  const auto unknown = ResolveRunRequest(request);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.error().key, "faults");
+}
+
+TEST(RunRequestFormatTest, FaultsRoundTripThroughTheTextFormat) {
+  RunRequest request;
+  request.faults = "churn:10@50000:1337,spike:0@6000:12:2500";
+  request.seed = 3;
+  const std::string text = FormatRunRequest(request);
+  EXPECT_NE(text.find("faults = churn:10@50000:1337,spike:0@6000:12:2500\n"),
+            std::string::npos);
+  const auto reparsed = ParseRunRequest(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().Render();
+  EXPECT_EQ(*reparsed, request);
 }
 
 TEST(RunRequestResolveTest, DeepTopologyRoundTripsAndResolves) {

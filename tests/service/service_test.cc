@@ -94,6 +94,42 @@ TEST(ExperimentServiceTest, ScenarioCacheDoesNotChangeTheBytes) {
   EXPECT_GT(status.scenario_cache_misses, 0u);
 }
 
+TEST(ExperimentServiceTest, StatusSplitsTheCacheCountersPerQueue) {
+  // The combined hit/miss counters stay (the smoke test pins them), but the
+  // status must also expose the per-queue split: scenario-spec builds and
+  // program-library builds cache on independent keys.
+  const std::string scenario_text = "scenario = paper-hot-task; duration-s = 2; seed = 3";
+  const std::string cli_text = "topology = 1:2:1; workload = hot:2; duration-s = 2";
+  ExperimentService service({/*queue_depth=*/8, /*workers=*/2, /*start_workers=*/true});
+  Collector collector;
+  ASSERT_TRUE(service.Submit(scenario_text, collector.fn()).ok());
+  ASSERT_TRUE(service.Submit(scenario_text, collector.fn()).ok());  // scenario-cache hit
+  ASSERT_TRUE(service.Submit(cli_text, collector.fn()).ok());
+  ASSERT_TRUE(service.Submit(cli_text, collector.fn()).ok());       // library-cache hit
+  service.Drain();
+
+  const ServiceStatusSnapshot status = service.Status();
+  EXPECT_GT(status.cache_scenario_hits, 0u);
+  EXPECT_GT(status.cache_scenario_misses, 0u);
+  EXPECT_GT(status.cache_library_hits, 0u);
+  EXPECT_GT(status.cache_library_misses, 0u);
+  EXPECT_EQ(status.scenario_cache_hits,
+            status.cache_scenario_hits + status.cache_library_hits);
+  EXPECT_EQ(status.scenario_cache_misses,
+            status.cache_scenario_misses + status.cache_library_misses);
+
+  // The split fields travel over the wire.
+  const std::string json = ServiceStatusToJson(status);
+  EXPECT_EQ(StatusField(json, "cache_scenario_hits", -1),
+            static_cast<double>(status.cache_scenario_hits));
+  EXPECT_EQ(StatusField(json, "cache_scenario_misses", -1),
+            static_cast<double>(status.cache_scenario_misses));
+  EXPECT_EQ(StatusField(json, "cache_library_hits", -1),
+            static_cast<double>(status.cache_library_hits));
+  EXPECT_EQ(StatusField(json, "cache_library_misses", -1),
+            static_cast<double>(status.cache_library_misses));
+}
+
 TEST(ExperimentServiceTest, ConcurrentClientsEachGetTheirOwnBytes) {
   // N client threads x M submissions each, distinct seeds, one shared
   // service. Every submission must come back byte-identical to its own

@@ -1,0 +1,103 @@
+// BoundedWorkQueue: admission is all-or-nothing and shutdown drains rather
+// than drops - including when the two race. A batch admitted concurrently
+// with Shutdown() must come out whole or not at all; a partially dropped
+// batch would stream half a submission's records and leave the client
+// unable to tell backpressure from loss.
+
+#include "src/service/work_queue.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace eas {
+namespace {
+
+TEST(BoundedWorkQueueTest, BatchLargerThanCapacityIsRejectedWhole) {
+  BoundedWorkQueue<int> queue(4);
+  EXPECT_FALSE(queue.TryPushBatch({1, 2, 3, 4, 5}));
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.TryPushBatch({1, 2, 3, 4}));
+  EXPECT_FALSE(queue.TryPushBatch({5}));  // full: no partial admission
+  EXPECT_EQ(queue.size(), 4u);
+}
+
+TEST(BoundedWorkQueueTest, ShutdownDrainsTheBacklogBeforeReturningEmpty) {
+  BoundedWorkQueue<int> queue(8);
+  ASSERT_TRUE(queue.TryPushBatch({1, 2, 3}));
+  queue.Shutdown();
+  EXPECT_FALSE(queue.TryPushBatch({4}));  // admission stops immediately
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), 3);
+  EXPECT_EQ(queue.Pop(), std::nullopt);  // drained, then - and only then - empty
+}
+
+TEST(BoundedWorkQueueTest, BatchRacingShutdownIsFullyDrainedOrFullyRejected) {
+  // Regression for the shutdown race: a batch whose TryPushBatch overlaps
+  // Stop() must never be partially dropped. Repeat the race enough times to
+  // land the interleaving both ways.
+  constexpr int kRounds = 400;
+  constexpr std::size_t kBatch = 8;
+  int admitted_rounds = 0;
+  int rejected_rounds = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedWorkQueue<int> queue(16);
+    bool admitted = false;
+    std::thread producer([&] {
+      std::vector<int> batch;
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        batch.push_back(static_cast<int>(i));
+      }
+      admitted = queue.TryPushBatch(std::move(batch));
+    });
+    queue.Shutdown();
+    producer.join();
+
+    std::size_t popped = 0;
+    while (queue.Pop().has_value()) {
+      ++popped;
+    }
+    // The whole batch or none of it - and the push's return value must
+    // agree with what a consumer actually saw.
+    EXPECT_EQ(popped, admitted ? kBatch : 0u) << "round " << round;
+    (admitted ? admitted_rounds : rejected_rounds) += 1;
+  }
+  // Sanity on the harness, not the queue: the loop exercised at least one
+  // interleaving. (With Shutdown racing an already-started push both
+  // outcomes are valid; in practice hundreds of rounds hit both.)
+  EXPECT_EQ(admitted_rounds + rejected_rounds, kRounds);
+}
+
+TEST(BoundedWorkQueueTest, ConcurrentConsumersSeeEveryAdmittedJobExactlyOnce) {
+  BoundedWorkQueue<int> queue(64);
+  std::vector<int> seen(64, 0);
+  std::vector<std::thread> consumers;
+  std::mutex seen_mutex;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      while (auto job = queue.Pop()) {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        seen[static_cast<std::size_t>(*job)] += 1;
+      }
+    });
+  }
+  for (int base = 0; base < 64; base += 8) {
+    std::vector<int> batch;
+    for (int i = base; i < base + 8; ++i) {
+      batch.push_back(i);
+    }
+    ASSERT_TRUE(queue.TryPushBatch(std::move(batch)));
+  }
+  queue.Shutdown();
+  for (std::thread& consumer : consumers) {
+    consumer.join();
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], 1) << "job " << i;
+  }
+}
+
+}  // namespace
+}  // namespace eas

@@ -2,7 +2,8 @@
 """Unit tests for tools/bench_compare.py - the benchmark regression gate.
 
 Covers every comparator (tick_hot_path, sweep_scaling, governor_sweep,
-cluster_scale, serve_throughput) on passing and regressing inputs, the asymmetric row-set
+cluster_scale, serve_throughput, chaos_overhead) on passing and regressing
+inputs, the asymmetric row-set
 rule (baseline row missing fails, new current row is warned and skipped),
 the config-mismatch refusal, the JSONL loader, and main()'s bench-name
 pairing check plus the "gate gated nothing" guard.
@@ -94,6 +95,27 @@ def serve_throughput_doc(rate=50.0, identical=True):
              "identical": identical},
             {"name": "fork_per_run", "seconds": 2.0, "requests_per_second": rate / 4,
              "identical": identical},
+        ],
+    }
+
+
+def chaos_overhead_doc(throughput=1500.0, wall_rate=100000.0, identical=True,
+                       chaos_fired=26):
+    return {
+        "bench": "chaos_overhead",
+        "scenario": "chaos-soak",
+        "duration_ticks": 20000,
+        "threads": 8,
+        "build_type": "release",
+        "runs": [
+            {"name": "fault-free", "throughput": throughput,
+             "wall_ticks_per_second": wall_rate},
+            {"name": "armed-idle", "throughput": throughput,
+             "wall_ticks_per_second": wall_rate * 0.97, "faults_fired": 0,
+             "offline_cpu_ticks": 0, "identical_physics": identical},
+            {"name": "chaos", "throughput": throughput * 0.8,
+             "wall_ticks_per_second": wall_rate * 0.9,
+             "faults_fired": chaos_fired, "offline_cpu_ticks": 4000},
         ],
     }
 
@@ -268,6 +290,59 @@ class ServeThroughputTest(unittest.TestCase):
         gate = run_gate(bench_compare.compare_serve_throughput,
                         serve_throughput_doc(), current)
         self.assertTrue(any("config mismatch on 'requests'" in f for f in gate.failures))
+
+
+class ChaosOverheadTest(unittest.TestCase):
+    def test_identical_runs_pass(self):
+        gate = run_gate(bench_compare.compare_chaos_overhead,
+                        chaos_overhead_doc(), chaos_overhead_doc())
+        self.assertEqual(gate.failures, [])
+        self.assertEqual(gate.rates_compared, 6)  # throughput + wall rate x 3 rows
+
+    def test_simulated_throughput_gates_at_one_percent(self):
+        # 5% lower simulated throughput is well inside the 25% wall-clock
+        # tolerance but the rows are deterministic - it must fail.
+        gate = run_gate(bench_compare.compare_chaos_overhead,
+                        chaos_overhead_doc(throughput=1500.0),
+                        chaos_overhead_doc(throughput=1425.0))
+        self.assertTrue(any("throughput[" in f for f in gate.failures))
+
+    def test_idle_overhead_regression_fails(self):
+        # The armed-idle wall rate collapsing means the fault layer started
+        # costing real time while firing nothing.
+        current = chaos_overhead_doc()
+        current["runs"][1]["wall_ticks_per_second"] = 1000.0
+        gate = run_gate(bench_compare.compare_chaos_overhead,
+                        chaos_overhead_doc(), current)
+        self.assertTrue(
+            any("wall_ticks_per_second[armed-idle]" in f for f in gate.failures))
+
+    def test_diverged_idle_physics_fails(self):
+        gate = run_gate(bench_compare.compare_chaos_overhead,
+                        chaos_overhead_doc(identical=True),
+                        chaos_overhead_doc(identical=False))
+        self.assertTrue(any("physics identical" in f for f in gate.failures))
+
+    def test_chaos_plan_that_stops_firing_fails(self):
+        gate = run_gate(bench_compare.compare_chaos_overhead,
+                        chaos_overhead_doc(chaos_fired=26),
+                        chaos_overhead_doc(chaos_fired=0))
+        self.assertTrue(any("fires faults" in f for f in gate.failures))
+
+    def test_fault_columns_on_fault_free_row_fail(self):
+        current = chaos_overhead_doc()
+        current["runs"][0]["faults_fired"] = 0  # fault-free must not carry it
+        gate = run_gate(bench_compare.compare_chaos_overhead,
+                        chaos_overhead_doc(), current)
+        self.assertTrue(
+            any("fault columns absent[fault-free]" in f for f in gate.failures))
+
+    def test_missing_armed_idle_row_fails(self):
+        current = chaos_overhead_doc()
+        current["runs"] = [current["runs"][0], current["runs"][2]]
+        gate = run_gate(bench_compare.compare_chaos_overhead,
+                        chaos_overhead_doc(), current)
+        self.assertTrue(any("armed-idle" in f for f in gate.failures))
 
 
 class GateTest(unittest.TestCase):

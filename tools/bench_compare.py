@@ -29,6 +29,14 @@ environment variable - CI runners are noisy, calibrate there, not here):
                   service, warm socket daemon, fork-per-run eastool), plus
                   every row's byte-identity cross-check against the offline
                   JSONL replay.
+  chaos_overhead: chaos-soak under three fault plans - fault-free,
+                  armed-but-never-firing, full chaos. Simulated throughput
+                  gates tight (deterministic rows), wall ticks/s gates at
+                  the global threshold (the armed-idle wall rate is the
+                  fault layer's idle cost), plus three invariants: the
+                  armed-idle run leaves physics bit-identical, the chaos
+                  run actually fires faults, and the fault-free row never
+                  grows fault columns.
 
 Row sets compare asymmetrically: a baseline row missing from the current run
 fails (a gated metric disappeared), while a current-run row absent from the
@@ -265,12 +273,48 @@ def compare_serve_throughput(baseline, current, gate):
         )
 
 
+def compare_chaos_overhead(baseline, current, gate):
+    # Three rows over the same scenario and horizon. Simulated throughput is
+    # deterministic, so it gates at the tighter of the global threshold and
+    # 1% (same rationale as the governor sweep); wall ticks/s is
+    # machine-bound and gates at the global threshold - the armed-idle row's
+    # wall rate is the one that catches a fault layer that starts costing
+    # ticks while doing nothing.
+    deterministic = min(gate.threshold, 0.01)
+    for field in ("scenario", "duration_ticks", "threads", "build_type"):
+        gate.config(field, baseline.get(field), current.get(field))
+    base_rows = {row["name"]: row for row in baseline.get("runs", [])}
+    gate.rows(base_rows, [row["name"] for row in current.get("runs", [])])
+    for row in current.get("runs", []):
+        name = row["name"]
+        base = base_rows.get(name)
+        if base is None:
+            continue  # warned and skipped via the rows check
+        gate.rate(f"throughput[{name}]", base["throughput"], row["throughput"], deterministic)
+        gate.rate(
+            f"wall_ticks_per_second[{name}]",
+            base["wall_ticks_per_second"],
+            row["wall_ticks_per_second"],
+        )
+        if name == "armed-idle":
+            gate.invariant(
+                "armed-but-idle plan leaves physics identical",
+                row.get("identical_physics", False),
+            )
+            gate.invariant("armed-idle fires nothing", row.get("faults_fired", -1) == 0)
+        elif name == "chaos":
+            gate.invariant("chaos plan fires faults", row.get("faults_fired", 0) > 0)
+        elif name == "fault-free":
+            gate.invariant("fault columns absent[fault-free]", "faults_fired" not in row)
+
+
 COMPARATORS = {
     "tick_hot_path": compare_tick_hot_path,
     "sweep_scaling": compare_sweep_scaling,
     "governor_sweep": compare_governor_sweep,
     "cluster_scale": compare_cluster_scale,
     "serve_throughput": compare_serve_throughput,
+    "chaos_overhead": compare_chaos_overhead,
 }
 
 

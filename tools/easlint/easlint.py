@@ -69,6 +69,7 @@ RULES = (
     "determinism-unordered-iter",
     "determinism-pointer-key",
     "shard-confinement",
+    "fault-rng-isolation",
     "registry-naming",
     "metric-schema",
     "suppression-justification",
@@ -138,6 +139,13 @@ ASSOC_DECL_RE = re.compile(
 )
 
 IDENT_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+# Fault-layer RNG isolation: a chaos schedule must be a function of the
+# fault spec text alone. Drawing from a shared RNG accessor (state.rng(),
+# env->rng()) couples fault timing to workload evolution; a
+# default-constructed Rng hides the seed. Both break replay.
+FAULT_SHARED_RNG_RE = re.compile(r"(?:\.|->)\s*rng\s*\(")
+FAULT_UNSEEDED_RNG_RE = re.compile(r"\b(?:eas\s*::\s*)?Rng\s+\w+\s*;")
 
 
 def die(message):
@@ -457,6 +465,40 @@ class Linter:
         "ScenarioRegistry": ("kebab-case", KEBAB_RE),
         "FrequencyGovernorRegistry": ("kebab-case", KEBAB_RE),
     }
+
+    def check_fault_rng_isolation(self, source):
+        """The fault layer never draws from shared or unseeded RNG streams.
+
+        Scope: fault-layer files (src/fault/ plus fault_*.cc/.h living in
+        other src/ layers, e.g. the engine-facing FaultPhase). The chaos
+        schedule must be a pure function of the spec text: two runs that
+        differ only in workload must see identical fault timings.
+        """
+        if not source.in_src:
+            return
+        path_norm = source.path.replace(os.sep, "/")
+        basename = os.path.basename(path_norm)
+        if "/fault/" not in path_norm and "fault" not in basename:
+            return
+        code = source.code
+        for match in FAULT_SHARED_RNG_RE.finditer(code):
+            self.add(
+                source,
+                source.line_of(match.start()),
+                "fault-rng-isolation",
+                "fault-layer draw from a shared rng() accessor: chaos "
+                "schedules must come only from the plan's own seeded "
+                "eas::Rng, never the experiment's stream",
+            )
+        for match in FAULT_UNSEEDED_RNG_RE.finditer(code):
+            self.add(
+                source,
+                source.line_of(match.start()),
+                "fault-rng-isolation",
+                "default-constructed Rng in the fault layer: construct "
+                "eas::Rng with the clause's explicit seed so the schedule "
+                "replays from the spec text",
+            )
 
     def check_registry_naming(self, source):
         text = source.nocomment
@@ -962,6 +1004,7 @@ def main():
                              "token engine covered it")
         if not ast_covered:
             linter.check_determinism_tokens(source)
+        linter.check_fault_rng_isolation(source)
         linter.check_registry_naming(source)
         linter.check_metric_schema(source)
         linter.check_suppressions(source)

@@ -1,0 +1,33 @@
+// Known-bad fixture: fault-layer code drawing randomness from anywhere but
+// a clause-seeded eas::Rng. (The file name carries "fault" so the rule's
+// fault-layer scoping applies, exactly as it does to src/fault/ files.)
+
+namespace eas {
+
+class Rng {
+ public:
+  Rng() = default;
+  explicit Rng(unsigned long long seed) : state_(seed) {}
+  unsigned long long Next() { return state_ += 1; }
+
+ private:
+  unsigned long long state_ = 0;
+};
+
+struct FakeState {
+  Rng& rng() { return shared_; }
+  Rng shared_;  // expect: fault-rng-isolation
+};
+
+unsigned long long ExpandChurn(FakeState& state) {
+  // Drawing from the experiment's shared stream: fault timing would depend
+  // on how much randomness the workload consumed first.
+  unsigned long long tick = state.rng().Next();  // expect: fault-rng-isolation
+  Rng unseeded;  // expect: fault-rng-isolation
+  tick += unseeded.Next();
+  Rng seeded(1337);  // fine: the clause's explicit seed
+  tick += seeded.Next();
+  return tick;
+}
+
+}  // namespace eas

@@ -104,8 +104,8 @@ def main():
     required = {
         "determinism-wall-clock", "determinism-raw-rand",
         "determinism-unseeded-prng", "determinism-unordered-iter",
-        "determinism-pointer-key", "shard-confinement", "registry-naming",
-        "metric-schema", "suppression-justification",
+        "determinism-pointer-key", "shard-confinement", "fault-rng-isolation",
+        "registry-naming", "metric-schema", "suppression-justification",
     }
     missing = required - set(rules_covered)
     check(not missing, "every rule has a known-bad fixture",

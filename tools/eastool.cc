@@ -44,6 +44,7 @@
 #include "src/api/run_session.h"
 #include "src/api/sink_registry.h"
 #include "src/base/flags.h"
+#include "src/fault/fault_plan.h"
 #include "src/freq/governor_registry.h"
 #include "src/service/experiment_server.h"
 #include "src/service/service_client.h"
@@ -89,6 +90,14 @@ void PrintUsage() {
       "  --governor NAME     DVFS frequency governor (default none = P0 pinned;\n"
       "                      see --list-governors)\n"
       "  --list-governors    list registered frequency governors and exit\n"
+      "  --faults SPEC       seeded fault plan injected at exact ticks: comma-\n"
+      "                      separated off:<cpu>@<tick> | on:<cpu>@<tick> |\n"
+      "                      spike:<pkg>@<tick>:<degC>:<dur> |\n"
+      "                      clamp:<pkg>@<tick>:<floor>:<dur> |\n"
+      "                      churn:<n>@<horizon>:<seed> clauses, or the literal\n"
+      "                      none to cancel a scenario's plan (see --list-faults;\n"
+      "                      replays are bit-identical for any thread count)\n"
+      "  --list-faults       print the fault-plan grammar and exit\n"
       "  --duration-s SEC    simulated seconds (default 120)\n"
       "  --runs N            expand into an N-seed sweep (default 1)\n"
       "  --seed N            experiment seed (default 42)\n"
@@ -132,7 +141,8 @@ constexpr const char* kKnownFlags[] = {
     "runs",       "seed",           "tag",            "request",     "batch",
     "print-request", "threads",     "trace-csv",      "summary-csv", "jsonl",
     "sink",       "plot",           "max-power",      "temp-limit",  "throttle",
-    "no-skip-ahead", "intra-threads", "socket",       "queue-depth"};
+    "no-skip-ahead", "intra-threads", "socket",       "queue-depth", "faults",
+    "list-faults"};
 
 // The flags that shape the request itself (as opposed to execution/output);
 // rejected with --batch, where the batch file is the single source of truth.
@@ -140,7 +150,8 @@ constexpr const char* kRequestFlags[] = {"scenario",   "topology",   "policy",
                                          "workload",   "governor",   "duration-s",
                                          "runs",       "seed",       "tag",
                                          "max-power",  "temp-limit", "throttle",
-                                         "no-skip-ahead", "intra-threads", "request"};
+                                         "no-skip-ahead", "intra-threads", "request",
+                                         "faults"};
 
 bool ReadFileToString(const std::string& path, std::string* out) {
   std::ifstream stream(path, std::ios::binary);
@@ -161,8 +172,8 @@ bool ReadFileToString(const std::string& path, std::string* out) {
 // value.
 bool ApplyFlagOverrides(const eas::FlagParser& flags, eas::RunRequest* request) {
   for (const char* key : {"scenario", "topology", "policy", "workload", "governor",
-                          "duration-s", "max-power", "temp-limit", "intra-threads",
-                          "seed", "runs", "tag"}) {
+                          "faults", "duration-s", "max-power", "temp-limit",
+                          "intra-threads", "seed", "runs", "tag"}) {
     if (!flags.Has(key)) {
       continue;
     }
@@ -465,6 +476,11 @@ int main(int argc, char** argv) {
     for (const std::string& name : eas::FrequencyGovernorRegistry::Global().Names()) {
       std::printf("%s\n", name.c_str());
     }
+    return 0;
+  }
+
+  if (flags.Has("list-faults")) {
+    std::fputs(eas::FaultPlanGrammar().c_str(), stdout);
     return 0;
   }
 
